@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Ablations of RELIEF's design choices (beyond the paper's figures,
+ * motivated by its Sections III and VII):
+ *
+ *  1. feasibility check ON vs OFF — greedy promotion wins a few more
+ *     forwards but misses deadlines and hurts fairness; is_feasible()
+ *     is what makes promotion safe;
+ *  2. laxity distribution — RELIEF over plain least-laxity (the paper)
+ *     vs RELIEF over HetSched's SDR sub-deadlines (the Section VII
+ *     future-work combination, implemented here as RELIEF-HS);
+ *  3. scratchpad partition count — forwarding needs live producer
+ *     data; fewer partitions mean earlier overwrites and fewer
+ *     forwards.
+ *
+ * All runs: high-contention triples, 50 ms cap.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <map>
+
+#include "core/relief.hh"
+
+using namespace relief;
+
+namespace
+{
+
+struct Variant
+{
+    std::string name;
+    SocConfig config;
+};
+
+struct Row
+{
+    double fwdPct = 0.0;
+    double deadlinesPct = 0.0;
+    double worstSlowdown = 0.0;
+    double dramMB = 0.0;
+};
+
+Row
+runVariant(const SocConfig &config, const std::string &mix)
+{
+    ExperimentConfig experiment;
+    experiment.soc = config;
+    experiment.mix = mix;
+    MetricsReport r = runExperiment(experiment);
+    Row row;
+    row.fwdPct = 100.0 * r.forwardFraction();
+    row.deadlinesPct = 100.0 * r.run.nodeDeadlineFraction();
+    for (const AppOutcome &app : r.apps) {
+        row.worstSlowdown = std::max(
+            row.worstSlowdown, app.starved() ? 99.0 : app.maxSlowdown());
+    }
+    row.dramMB = double(r.dramBytes) / (1024.0 * 1024.0);
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+
+    std::vector<Variant> variants;
+    {
+        Variant v{"RELIEF", {}};
+        v.config.policy = PolicyKind::Relief;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"RELIEF-greedy (no is_feasible)", {}};
+        v.config.policy = PolicyKind::Relief;
+        v.config.reliefFeasibilityCheck = false;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"RELIEF-HS (SDR laxity)", {}};
+        v.config.policy = PolicyKind::ReliefHetSched;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"RELIEF, 2 SPM partitions", {}};
+        v.config.policy = PolicyKind::Relief;
+        v.config.spmPartitions = 2;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"LAX (reference)", {}};
+        v.config.policy = PolicyKind::Lax;
+        variants.push_back(v);
+    }
+    {
+        // The paper's Introduction motivation: distributed per-
+        // accelerator management has no global task-mapping view, so
+        // it cannot exploit forwarding hardware at all — modeled as
+        // arrival-order dispatch with forwarding disabled.
+        Variant v{"Distributed (FCFS, no fwd)", {}};
+        v.config.policy = PolicyKind::Fcfs;
+        v.config.manager.forwardingEnabled = false;
+        variants.push_back(v);
+    }
+
+    for (const char *metric :
+         {"forwards+colocations %", "node deadlines met %",
+          "worst app slowdown", "DRAM traffic (MiB)"}) {
+        Table table(std::string("Ablation — ") + metric);
+        std::vector<std::string> header = {"mix"};
+        for (const Variant &v : variants)
+            header.push_back(v.name);
+        table.setHeader(header);
+
+        std::map<std::string, std::vector<double>> agg;
+        for (const std::string &mix : mixesFor(Contention::High)) {
+            std::vector<std::string> row = {mix};
+            for (const Variant &v : variants) {
+                Row r = runVariant(v.config, mix);
+                double value = 0.0;
+                if (!std::strcmp(metric, "forwards+colocations %"))
+                    value = r.fwdPct;
+                else if (!std::strcmp(metric, "node deadlines met %"))
+                    value = r.deadlinesPct;
+                else if (!std::strcmp(metric, "worst app slowdown"))
+                    value = r.worstSlowdown;
+                else
+                    value = r.dramMB;
+                agg[v.name].push_back(value);
+                row.push_back(Table::num(value, 2));
+            }
+            table.addRow(row);
+        }
+        std::vector<std::string> gmean_row = {"Gmean"};
+        for (const Variant &v : variants)
+            gmean_row.push_back(Table::num(geomean(agg[v.name]), 2));
+        table.addRow(gmean_row);
+        table.emit(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

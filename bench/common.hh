@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared plumbing for the experiment benches: run a mix under a policy
+ * at a contention level, and emit paper-style panels (one table per
+ * contention level, one column per policy, gmean row).
+ */
+
+#ifndef RELIEF_BENCH_COMMON_HH
+#define RELIEF_BENCH_COMMON_HH
+
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/relief.hh"
+
+namespace relief::bench
+{
+
+/** Run @p mix under @p policy at @p level (continuous loops for 50 ms). */
+inline MetricsReport
+run(const std::string &mix, PolicyKind policy, Contention level,
+    const SocConfig &base = {})
+{
+    ExperimentConfig config;
+    config.soc = base;
+    config.soc.policy = policy;
+    config.mix = mix;
+    config.continuous = level == Contention::Continuous;
+    config.timeLimit = fromMs(50.0);
+    return runExperiment(config);
+}
+
+/** Extracts one plotted value from a finished run. */
+using Metric = std::function<double(const MetricsReport &)>;
+
+/**
+ * Print one paper panel: rows are the level's mixes plus a Gmean row,
+ * columns are @p policies, values come from @p metric (already scaled
+ * for display).
+ */
+inline void
+printPanel(const std::string &title, Contention level,
+           const std::vector<PolicyKind> &policies, const Metric &metric,
+           int precision = 1, const SocConfig &base = {})
+{
+    Table table(title);
+    std::vector<std::string> header = {"mix"};
+    for (PolicyKind policy : policies)
+        header.push_back(policyName(policy));
+    table.setHeader(header);
+
+    std::map<PolicyKind, std::vector<double>> values;
+    for (const std::string &mix : mixesFor(level)) {
+        std::vector<std::string> row = {mix};
+        for (PolicyKind policy : policies) {
+            double v = metric(run(mix, policy, level, base));
+            values[policy].push_back(v);
+            row.push_back(Table::num(v, precision));
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> gmean_row = {"Gmean"};
+    for (PolicyKind policy : policies)
+        gmean_row.push_back(Table::num(geomean(values[policy]),
+                                       precision));
+    table.addRow(gmean_row);
+    table.emit(std::cout);
+    std::cout << "\n";
+}
+
+/** The four contention levels in figure order (panels a-d). */
+inline const std::vector<Contention> allLevels = {
+    Contention::Low, Contention::Medium, Contention::High,
+    Contention::Continuous};
+
+} // namespace relief::bench
+
+#endif // RELIEF_BENCH_COMMON_HH

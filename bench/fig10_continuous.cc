@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 10 + Table VII — fairness under continuous contention: each
+ * triple's applications loop back-to-back for 50 ms.
+ *  (a) per-application geometric-mean slowdown (inf = starved);
+ *  (b) percent of DAG deadlines met;
+ *  Table VII: completed DAG iterations per application and policy.
+ * Paper results: LAX starves Deblur in most mixes; RELIEF spreads
+ * slowdown evenly (DGL: every app <7% slowdown, 98% lower variance).
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "common.hh"
+
+using namespace relief;
+using namespace relief::bench;
+
+int
+main()
+{
+    setInformEnabled(false);
+    std::cout << "Figure 10 / Table VII: continuous contention\n\n";
+
+    Table slow("Fig 10a — gmean slowdown per app (order of mix symbols; "
+               "inf = starved)");
+    Table dag("Fig 10b — DAG deadlines met (%)");
+    Table iters("Table VII — finished DAG iterations per app");
+    std::vector<std::string> header = {"mix"};
+    for (PolicyKind policy : allPolicies)
+        header.push_back(policyName(policy));
+    slow.setHeader(header);
+    dag.setHeader(header);
+    iters.setHeader(header);
+
+    for (const std::string &mix : mixesFor(Contention::Continuous)) {
+        std::vector<std::string> slow_row = {mix}, dag_row = {mix},
+                                 iter_row = {mix};
+        for (PolicyKind policy : allPolicies) {
+            MetricsReport r = run(mix, policy, Contention::Continuous);
+            std::string slows, its;
+            int met = 0, total = 0;
+            for (const AppOutcome &app : r.apps) {
+                if (!slows.empty()) {
+                    slows += "/";
+                    its += "/";
+                }
+                slows += app.starved()
+                             ? "inf"
+                             : Table::num(app.meanSlowdown(), 2);
+                its += std::to_string(app.iterations);
+                met += app.deadlinesMet;
+                total += app.iterations;
+            }
+            slow_row.push_back(slows);
+            iter_row.push_back(its);
+            dag_row.push_back(total ? Table::num(100.0 * met / total, 1)
+                                    : "0.0");
+        }
+        slow.addRow(slow_row);
+        dag.addRow(dag_row);
+        iters.addRow(iter_row);
+    }
+    slow.emit(std::cout);
+    std::cout << "\n";
+    dag.emit(std::cout);
+    std::cout << "\n";
+    iters.emit(std::cout);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 11 — performance impact of the memory predictors in
+ * isolation and combined, normalized to the Max predictors, under high
+ * contention with RELIEF: node deadlines met with (1) predicted
+ * bandwidth only, (2) predicted data movement only, (3) both.
+ * Paper result (Observation 8): all bars ~1.0 — RELIEF does not
+ * benefit from dynamic memory-time prediction.
+ */
+
+#include <iostream>
+
+#include "core/relief.hh"
+
+using namespace relief;
+
+namespace
+{
+
+double
+deadlinesMet(const std::string &mix, BwPredictorKind bw,
+             DmPredictorKind dm)
+{
+    ExperimentConfig config;
+    config.soc.policy = PolicyKind::Relief;
+    config.soc.bwPredictor = bw;
+    config.soc.dmPredictor = dm;
+    config.mix = mix;
+    return double(runExperiment(config).run.nodeDeadlinesMet);
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    Table table("Fig 11 — node deadlines met, normalized to Max "
+                "predictors (RELIEF, high contention)");
+    table.setHeader({"mix", "Pred. BW", "Pred. DM", "Pred. BW + DM"});
+
+    std::vector<double> bw_all, dm_all, both_all;
+    for (const std::string &mix : mixesFor(Contention::High)) {
+        double base = deadlinesMet(mix, BwPredictorKind::Max,
+                                   DmPredictorKind::Max);
+        if (base == 0.0)
+            base = 1.0;
+        double bw = deadlinesMet(mix, BwPredictorKind::Average,
+                                 DmPredictorKind::Max) /
+                    base;
+        double dm = deadlinesMet(mix, BwPredictorKind::Max,
+                                 DmPredictorKind::Graph) /
+                    base;
+        double both = deadlinesMet(mix, BwPredictorKind::Average,
+                                   DmPredictorKind::Graph) /
+                      base;
+        bw_all.push_back(bw);
+        dm_all.push_back(dm);
+        both_all.push_back(both);
+        table.addRow({mix, Table::num(bw, 3), Table::num(dm, 3),
+                      Table::num(both, 3)});
+    }
+    table.addRow({"Gmean", Table::num(geomean(bw_all), 3),
+                  Table::num(geomean(dm_all), 3),
+                  Table::num(geomean(both_all), 3)});
+    table.emit(std::cout);
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Figure 7 — accelerator occupancy (sum over accelerators of compute
+ * busy time over end-to-end execution time) per mix and policy, for
+ * all four contention levels. Higher is better.
+ */
+
+#include "common.hh"
+
+using namespace relief;
+using namespace relief::bench;
+
+int
+main()
+{
+    setInformEnabled(false);
+    std::cout << "Figure 7: accelerator occupancy\n\n";
+    for (Contention level : allLevels) {
+        printPanel(std::string("Fig 7 (") + contentionName(level) + ")",
+                   level, mainPolicies,
+                   [](const MetricsReport &r) { return r.accOccupancy; },
+                   3);
+    }
+    return 0;
+}

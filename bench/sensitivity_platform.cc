@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Platform-sensitivity sweeps (microarchitectural design decisions the
+ * paper varies or assumes):
+ *
+ *  1. DRAM streaming efficiency — lower achievable bandwidth makes
+ *     data movement costlier, widening RELIEF's advantage;
+ *  2. accelerator instance counts — with two instances of each type
+ *     there is slack everywhere and every policy forwards more;
+ *  3. manager ISR latency — scheduling overhead must overlap
+ *     accelerator execution (Observation 9); sweeping it shows when
+ *     that stops being true;
+ *  4. DMA setup latency — per-transfer fixed costs shift the
+ *     colocation-vs-forward balance.
+ *
+ * All runs: GHL (the most forwarding-sensitive triple) plus the
+ * high-contention gmean.
+ */
+
+#include <iostream>
+
+#include "core/relief.hh"
+
+using namespace relief;
+
+namespace
+{
+
+double
+forwardPct(const SocConfig &config, const std::string &mix)
+{
+    ExperimentConfig experiment;
+    experiment.soc = config;
+    experiment.mix = mix;
+    return 100.0 * runExperiment(experiment).forwardFraction();
+}
+
+double
+deadlinePct(const SocConfig &config, const std::string &mix)
+{
+    ExperimentConfig experiment;
+    experiment.soc = config;
+    experiment.mix = mix;
+    return 100.0 * runExperiment(experiment).run.nodeDeadlineFraction();
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    const std::string mix = "GHL";
+
+    {
+        Table table("DRAM efficiency sweep (mix GHL)");
+        table.setHeader({"efficiency", "LAX fwd%", "RELIEF fwd%",
+                         "LAX deadlines%", "RELIEF deadlines%"});
+        for (double eff : {0.35, 0.45, 0.55, 0.75, 1.0}) {
+            SocConfig lax, relief;
+            lax.policy = PolicyKind::Lax;
+            relief.policy = PolicyKind::Relief;
+            lax.mem.efficiency = eff;
+            relief.mem.efficiency = eff;
+            table.addRow({Table::num(eff, 2),
+                          Table::num(forwardPct(lax, mix)),
+                          Table::num(forwardPct(relief, mix)),
+                          Table::num(deadlinePct(lax, mix)),
+                          Table::num(deadlinePct(relief, mix))});
+        }
+        table.emit(std::cout);
+        std::cout << "\n";
+    }
+
+    {
+        Table table("Accelerator instance-count sweep (mix GHL)");
+        table.setHeader({"instances/type", "LAX fwd%", "RELIEF fwd%",
+                         "LAX deadlines%", "RELIEF deadlines%"});
+        for (int count : {1, 2, 3}) {
+            SocConfig lax, relief;
+            lax.policy = PolicyKind::Lax;
+            relief.policy = PolicyKind::Relief;
+            lax.instances.fill(count);
+            relief.instances.fill(count);
+            table.addRow({std::to_string(count),
+                          Table::num(forwardPct(lax, mix)),
+                          Table::num(forwardPct(relief, mix)),
+                          Table::num(deadlinePct(lax, mix)),
+                          Table::num(deadlinePct(relief, mix))});
+        }
+        table.emit(std::cout);
+        std::cout << "\n";
+    }
+
+    {
+        Table table("Manager ISR-latency sweep (mix GHL, RELIEF)");
+        table.setHeader({"ISR latency (us)", "deadlines%", "fwd%",
+                         "exec time (ms)"});
+        for (double isr_us : {0.1, 0.4, 2.0, 10.0, 50.0}) {
+            SocConfig config;
+            config.policy = PolicyKind::Relief;
+            config.manager.isrLatency = fromUs(isr_us);
+            ExperimentConfig experiment;
+            experiment.soc = config;
+            experiment.mix = mix;
+            MetricsReport r = runExperiment(experiment);
+            table.addRow({Table::num(isr_us, 1),
+                          Table::num(100.0 * r.run.nodeDeadlineFraction()),
+                          Table::num(100.0 * r.forwardFraction()),
+                          Table::num(toMs(r.execTime), 2)});
+        }
+        table.emit(std::cout);
+        std::cout << "\n";
+    }
+
+    {
+        Table table("Memory model: flat efficiency vs bank-aware "
+                    "(mix GHL)");
+        table.setHeader({"model", "LAX deadlines%", "RELIEF deadlines%",
+                         "LAX exec (ms)", "RELIEF exec (ms)"});
+        for (bool banked : {false, true}) {
+            SocConfig lax, relief;
+            lax.policy = PolicyKind::Lax;
+            relief.policy = PolicyKind::Relief;
+            lax.bankedMemory = banked;
+            relief.bankedMemory = banked;
+            ExperimentConfig el, er;
+            el.soc = lax;
+            er.soc = relief;
+            el.mix = mix;
+            er.mix = mix;
+            MetricsReport rl = runExperiment(el);
+            MetricsReport rr = runExperiment(er);
+            table.addRow({banked ? "banked (8 banks)" : "flat",
+                          Table::num(100.0 * rl.run.nodeDeadlineFraction()),
+                          Table::num(100.0 * rr.run.nodeDeadlineFraction()),
+                          Table::num(toMs(rl.execTime), 2),
+                          Table::num(toMs(rr.execTime), 2)});
+        }
+        table.emit(std::cout);
+        std::cout << "\n";
+    }
+
+    {
+        Table table("Forwarding mechanism: SPM-to-SPM DMA vs "
+                    "AXI-stream FIFOs (RELIEF)");
+        table.setHeader({"mix", "DMA fwd%", "stream fwd%",
+                         "DMA exec (ms)", "stream exec (ms)"});
+        for (const std::string &m : mixesFor(Contention::High)) {
+            SocConfig dma_cfg, stream_cfg;
+            dma_cfg.policy = PolicyKind::Relief;
+            stream_cfg.policy = PolicyKind::Relief;
+            stream_cfg.manager.forwardMechanism =
+                ForwardMechanism::StreamBuffer;
+            ExperimentConfig ed, es;
+            ed.soc = dma_cfg;
+            es.soc = stream_cfg;
+            ed.mix = m;
+            es.mix = m;
+            MetricsReport rd = runExperiment(ed);
+            MetricsReport rs = runExperiment(es);
+            table.addRow({m, Table::num(100.0 * rd.forwardFraction()),
+                          Table::num(100.0 * rs.forwardFraction()),
+                          Table::num(toMs(rd.execTime), 2),
+                          Table::num(toMs(rs.execTime), 2)});
+        }
+        table.emit(std::cout);
+        std::cout << "\n";
+    }
+
+    {
+        Table table("DMA setup-latency sweep (mix GHL, RELIEF)");
+        table.setHeader({"setup (us)", "deadlines%", "fwd%",
+                         "exec time (ms)"});
+        for (double setup_us : {0.1, 0.5, 1.0, 2.0}) {
+            SocConfig config;
+            config.policy = PolicyKind::Relief;
+            config.dma.setupLatency = fromUs(setup_us);
+            ExperimentConfig experiment;
+            experiment.soc = config;
+            experiment.mix = mix;
+            MetricsReport r = runExperiment(experiment);
+            table.addRow({Table::num(setup_us, 1),
+                          Table::num(100.0 * r.run.nodeDeadlineFraction()),
+                          Table::num(100.0 * r.forwardFraction()),
+                          Table::num(toMs(r.execTime), 2)});
+        }
+        table.emit(std::cout);
+    }
+    return 0;
+}

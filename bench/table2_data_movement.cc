@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tables I, II and V — the motivation data:
+ *  - Table I: per-task compute and memory time per accelerator type
+ *    (memory time measured by running one task of that type alone with
+ *    forwarding disabled);
+ *  - Table II: per-application total compute time vs memory time
+ *    without forwarding vs with forwarding used whenever possible;
+ *  - Table V: per-application standalone runtime and laxity.
+ * Paper headline: RNN applications spend ~75% of their time on data
+ * movement, and ideal forwarding cuts it by up to 2x.
+ */
+
+#include <iostream>
+
+#include "core/relief.hh"
+
+using namespace relief;
+
+namespace
+{
+
+/** Sum of measured memory time across all nodes of a finished DAG. */
+Tick
+totalMemTime(Dag &dag)
+{
+    Tick total = 0;
+    for (Node *node : dag.allNodes())
+        total += node->actualMemTime;
+    return total;
+}
+
+struct AppRun
+{
+    Tick computeTime;
+    Tick memTime;
+    Tick runtime;
+};
+
+AppRun
+runAlone(AppId app, bool forwarding)
+{
+    SocConfig config;
+    config.policy = forwarding ? PolicyKind::Relief : PolicyKind::Fcfs;
+    config.manager.forwardingEnabled = forwarding;
+    Soc soc(config);
+    DagPtr dag = buildApp(app);
+    soc.submit(dag);
+    soc.run(fromMs(50.0));
+    AppRun result;
+    result.computeTime = dag->totalComputeTime();
+    result.memTime = totalMemTime(*dag);
+    result.runtime = dag->complete() ? dag->finishTick() - dag->arrivalTick()
+                                     : fromMs(50.0);
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+
+    // --- Table I: per-task times per accelerator type ---
+    Table t1("Table I — per-task compute time (us) and scratchpad size");
+    t1.setHeader({"accelerator", "SPAD (B)", "compute (us)"});
+    for (AccType type : allAccTypes) {
+        TaskParams p;
+        p.type = type;
+        t1.addRow({accTypeName(type),
+                   std::to_string(defaultSpmBytes(type)),
+                   Table::num(toUs(computeTime(p)), 2)});
+    }
+    t1.emit(std::cout);
+    std::cout << "\n";
+
+    // --- Table II: compute vs memory time per application ---
+    Table t2("Table II — absolute compute vs data-movement time (us)");
+    t2.setHeader({"application", "compute", "mem (no fwd)",
+                  "mem (forwarding)", "mem reduction %"});
+    for (AppId app : allApps) {
+        AppRun no_fwd = runAlone(app, false);
+        AppRun fwd = runAlone(app, true);
+        double reduction =
+            100.0 * (1.0 - double(fwd.memTime) / double(no_fwd.memTime));
+        t2.addRow({appName(app), Table::num(toUs(no_fwd.computeTime), 2),
+                   Table::num(toUs(no_fwd.memTime), 2),
+                   Table::num(toUs(fwd.memTime), 2),
+                   Table::num(reduction, 1)});
+    }
+    t2.emit(std::cout);
+    std::cout << "\n";
+
+    // --- Data-movement share (the paper's "up to 75%" motivation) ---
+    Table share("Data-movement share of serial execution time (no fwd)");
+    share.setHeader({"application", "movement %"});
+    for (AppId app : allApps) {
+        AppRun no_fwd = runAlone(app, false);
+        double pct = 100.0 * double(no_fwd.memTime) /
+                     double(no_fwd.memTime + no_fwd.computeTime);
+        share.addRow({appName(app), Table::num(pct, 1)});
+    }
+    share.emit(std::cout);
+    std::cout << "\n";
+
+    // --- Table V: standalone runtime and laxity ---
+    Table t5("Table V — deadline and laxity when run alone");
+    t5.setHeader({"application", "deadline (ms)", "runtime (ms)",
+                  "laxity (ms)"});
+    for (AppId app : allApps) {
+        AppRun fwd = runAlone(app, true);
+        Tick deadline = appDeadline(app);
+        double laxity_ms = toMs(deadline) - toMs(fwd.runtime);
+        t5.addRow({appName(app), Table::num(toMs(deadline), 1),
+                   Table::num(toMs(fwd.runtime), 2),
+                   Table::num(laxity_ms, 2)});
+    }
+    t5.emit(std::cout);
+    return 0;
+}

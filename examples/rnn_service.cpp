@@ -1,0 +1,79 @@
+/**
+ * @file
+ * RNN inference service example: speech recognition (LSTM) and
+ * translation (GRU) requests arrive continuously with 7 ms latency
+ * budgets — the workload class where the paper measures ~75% of
+ * execution time going to data movement. The example loops both
+ * applications for a fixed window under every policy and reports
+ * completed inferences, deadline misses, colocations, and memory
+ * traffic — showing how RELIEF's promotions keep producer/consumer
+ * elem-matrix tasks glued together.
+ *
+ * Usage: rnn_service [--window-ms N]
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/relief.hh"
+
+using namespace relief;
+
+int
+main(int argc, char **argv)
+{
+    double window_ms = 50.0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--window-ms") && i + 1 < argc) {
+            window_ms = std::atof(argv[++i]);
+        } else {
+            std::cerr << "usage: rnn_service [--window-ms N]\n";
+            return 1;
+        }
+    }
+
+    std::cout << "RNN inference service: GRU + LSTM looping for "
+              << window_ms << " ms per policy\n\n";
+
+    Table table("policy comparison");
+    table.setHeader({"policy", "GRU done", "LSTM done", "deadlines met %",
+                     "colocations", "DRAM KiB", "gmean slowdown"});
+
+    for (PolicyKind policy : allPolicies) {
+        SocConfig config;
+        config.policy = policy;
+        Soc soc(config);
+        DagPtr gru = buildApp(AppId::Gru);
+        DagPtr lstm = buildApp(AppId::Lstm);
+        soc.submit(gru, 0, /* continuous */ true);
+        soc.submit(lstm, 0, /* continuous */ true);
+        soc.run(fromMs(window_ms));
+        MetricsReport report = soc.report();
+
+        int met = 0, total = 0;
+        std::vector<double> slowdowns;
+        for (const AppOutcome &app : report.apps) {
+            met += app.deadlinesMet;
+            total += app.iterations;
+            if (!app.starved())
+                slowdowns.push_back(app.meanSlowdown());
+        }
+        table.addRow(
+            {policyName(policy),
+             std::to_string(report.apps[0].iterations),
+             std::to_string(report.apps[1].iterations),
+             total ? Table::num(100.0 * met / total, 1) : "0",
+             std::to_string(report.run.colocations),
+             std::to_string(report.dramBytes / 1024),
+             slowdowns.empty() ? "inf"
+                               : Table::num(geomean(slowdowns), 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nNote how RELIEF completes more inferences with far "
+                 "more colocations and less DRAM traffic — the paper's "
+                 "headline mechanism on its most memory-bound "
+                 "workloads.\n";
+    return 0;
+}

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Plot the exported CSV tables as grouped bar charts.
+
+Counterpart to the original artifact's plot_*.py scripts: after
+
+    scripts/run_all_experiments.sh build results
+
+run
+
+    scripts/plot_figures.py results/csv results/plots
+
+to turn every exported table whose rows are mixes and whose columns are
+policy series into a PDF bar chart. Requires matplotlib.
+"""
+
+import csv
+import pathlib
+import sys
+
+
+def load_table(path):
+    """Return (title, header, rows) from one exported CSV."""
+    title = path.stem.replace("_", " ")
+    with open(path, newline="") as handle:
+        lines = [line for line in handle if not line.startswith("#")]
+    reader = csv.reader(lines)
+    table = list(reader)
+    if len(table) < 2:
+        return None
+    return title, table[0], table[1:]
+
+
+def numeric_rows(header, rows):
+    """Keep rows whose value cells all parse as floats."""
+    out = []
+    for row in rows:
+        if len(row) != len(header):
+            continue
+        try:
+            values = [float(cell) for cell in row[1:]]
+        except ValueError:
+            continue
+        out.append((row[0], values))
+    return out
+
+
+def plot_table(title, header, rows, out_path, plt):
+    data = numeric_rows(header, rows)
+    if not data:
+        return False
+    labels = [label for label, _ in data]
+    series_names = header[1:]
+    num_series = len(series_names)
+    width = 0.8 / max(num_series, 1)
+
+    fig, ax = plt.subplots(figsize=(max(6, len(labels) * 0.9), 3.5))
+    for s, name in enumerate(series_names):
+        xs = [i + s * width for i in range(len(labels))]
+        ys = [values[s] for _, values in data]
+        ax.bar(xs, ys, width=width, label=name)
+    ax.set_xticks([i + 0.4 - width / 2 for i in range(len(labels))])
+    ax.set_xticklabels(labels, rotation=45, ha="right", fontsize=8)
+    ax.set_title(title, fontsize=9)
+    ax.legend(fontsize=6, ncol=min(num_series, 4))
+    fig.tight_layout()
+    fig.savefig(out_path)
+    plt.close(fig)
+    return True
+
+
+def main():
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("plot_figures.py needs matplotlib (pip install matplotlib)")
+
+    csv_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results/csv")
+    out_dir = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else "results/plots")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    plotted = 0
+    for path in sorted(csv_dir.glob("*.csv")):
+        loaded = load_table(path)
+        if loaded is None:
+            continue
+        title, header, rows = loaded
+        if plot_table(title, header, rows, out_dir / (path.stem + ".pdf"), plt):
+            plotted += 1
+    print(f"wrote {plotted} plots to {out_dir}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Run every experiment bench, teeing console output into results/ and
+# exporting each table as CSV (via RELIEF_CSV_DIR) for plotting.
+#
+# Usage: scripts/run_all_experiments.sh [build-dir] [results-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+RESULTS_DIR="${2:-results}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+    echo "error: $BUILD_DIR/bench not found; build first:" >&2
+    echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+    exit 1
+fi
+
+mkdir -p "$RESULTS_DIR/csv"
+export RELIEF_CSV_DIR="$RESULTS_DIR/csv"
+
+for bench in "$BUILD_DIR"/bench/*; do
+    [ -f "$bench" ] && [ -x "$bench" ] || continue
+    name="$(basename "$bench")"
+    echo "=== $name ==="
+    "$bench" | tee "$RESULTS_DIR/$name.txt"
+    echo
+done
+
+echo "console outputs in $RESULTS_DIR/, CSV exports in $RESULTS_DIR/csv/"

@@ -1,0 +1,80 @@
+#include "acc/acc_types.hh"
+
+namespace relief
+{
+
+const char *
+accTypeSymbol(AccType type)
+{
+    switch (type) {
+      case AccType::ISP:
+        return "I";
+      case AccType::Grayscale:
+        return "G";
+      case AccType::Convolution:
+        return "C";
+      case AccType::ElemMatrix:
+        return "EM";
+      case AccType::CannyNonMax:
+        return "CNM";
+      case AccType::HarrisNonMax:
+        return "HNM";
+      case AccType::EdgeTracking:
+        return "ET";
+    }
+    return "?";
+}
+
+const char *
+accTypeName(AccType type)
+{
+    switch (type) {
+      case AccType::ISP:
+        return "ISP";
+      case AccType::Grayscale:
+        return "grayscale";
+      case AccType::Convolution:
+        return "convolution";
+      case AccType::ElemMatrix:
+        return "elem-matrix";
+      case AccType::CannyNonMax:
+        return "canny-non-max";
+      case AccType::HarrisNonMax:
+        return "harris-non-max";
+      case AccType::EdgeTracking:
+        return "edge-tracking";
+    }
+    return "unknown";
+}
+
+const char *
+elemOpName(ElemOp op)
+{
+    switch (op) {
+      case ElemOp::Add:
+        return "add";
+      case ElemOp::Sub:
+        return "sub";
+      case ElemOp::Mul:
+        return "mul";
+      case ElemOp::Div:
+        return "div";
+      case ElemOp::Sqr:
+        return "sqr";
+      case ElemOp::Sqrt:
+        return "sqrt";
+      case ElemOp::Atan2:
+        return "atan2";
+      case ElemOp::Tanh:
+        return "tanh";
+      case ElemOp::Sigmoid:
+        return "sigmoid";
+      case ElemOp::Scale:
+        return "scale";
+      case ElemOp::OneMinus:
+        return "one-minus";
+    }
+    return "unknown";
+}
+
+} // namespace relief

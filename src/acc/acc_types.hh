@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The seven elementary accelerator types (paper Table I) and the
+ * elementwise operations the elem-matrix accelerator supports.
+ */
+
+#ifndef RELIEF_ACC_ACC_TYPES_HH
+#define RELIEF_ACC_ACC_TYPES_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace relief
+{
+
+/** Elementary accelerator types. */
+enum class AccType : std::uint8_t
+{
+    ISP,          ///< Demosaic, color correction, gamma correction.
+    Grayscale,    ///< RGB -> grayscale.
+    Convolution,  ///< 2-D convolution, filters up to 5x5.
+    ElemMatrix,   ///< Elementwise matrix ops (add, mult, tanh, ...).
+    CannyNonMax,  ///< Canny non-maximum suppression.
+    HarrisNonMax, ///< Harris 3x3 corner non-max enhancement.
+    EdgeTracking, ///< Hysteresis edge tracking / boosting.
+};
+
+/** Number of accelerator types in the system. */
+constexpr int numAccTypes = 7;
+
+/** Elementwise operations of the elem-matrix accelerator. The paper
+ *  lists add, mult, sqr, sqrt, atan2, tanh, and sigmoid; Sub, Div,
+ *  Scale, and OneMinus are trivial additions needed by the deblur and
+ *  RNN dataflows. */
+enum class ElemOp : std::uint8_t
+{
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Sqr,
+    Sqrt,
+    Atan2,
+    Tanh,
+    Sigmoid,
+    Scale,    ///< Multiply by an immediate scalar.
+    OneMinus, ///< 1 - x (GRU update-gate complement).
+};
+
+/** Compact name used in tables/traces, e.g. "C" for convolution. */
+const char *accTypeSymbol(AccType type);
+
+/** Full name, e.g. "convolution". */
+const char *accTypeName(AccType type);
+
+/** Name of an elementwise op, e.g. "tanh". */
+const char *elemOpName(ElemOp op);
+
+/** Index an array by AccType. */
+constexpr std::size_t
+accIndex(AccType type)
+{
+    return std::size_t(type);
+}
+
+/** All accelerator types, for iteration. */
+constexpr std::array<AccType, numAccTypes> allAccTypes = {
+    AccType::ISP,          AccType::Grayscale,   AccType::Convolution,
+    AccType::ElemMatrix,   AccType::CannyNonMax, AccType::HarrisNonMax,
+    AccType::EdgeTracking,
+};
+
+} // namespace relief
+
+#endif // RELIEF_ACC_ACC_TYPES_HH

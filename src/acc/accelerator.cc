@@ -1,0 +1,63 @@
+#include "acc/accelerator.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+Accelerator::Accelerator(Simulator &sim, std::string name, AccType type,
+                         int instance, Interconnect &fabric,
+                         PortId dram_port, MainMemory &dram,
+                         const ScratchpadConfig &spm_config,
+                         const DmaConfig &dma_config)
+    : SimObject(sim, std::move(name)), type_(type), instance_(instance),
+      spm_(std::make_unique<Scratchpad>(sim, this->name() + ".spm",
+                                        spm_config)),
+      dma_(std::make_unique<DmaEngine>(sim, this->name() + ".dma", fabric,
+                                       dram_port, dram, *spm_, dma_config))
+{
+}
+
+void
+Accelerator::acquire()
+{
+    RELIEF_ASSERT(!busy_, name(), ": acquire while busy");
+    busy_ = true;
+}
+
+void
+Accelerator::startCompute(Tick duration, Callback on_done)
+{
+    RELIEF_ASSERT(busy_, name(), ": compute without acquisition");
+    Tick start = now();
+    Tick end = start + duration;
+    computeBusy_.add(start, end);
+    sim().at(end,
+             [this, cb = std::move(on_done)]() {
+                 tasksExecuted_.add(1);
+                 busy_ = false;
+                 if (cb)
+                     cb();
+             },
+             name() + ".computeDone");
+}
+
+void
+Accelerator::release()
+{
+    RELIEF_ASSERT(busy_, name(), ": release while idle");
+    busy_ = false;
+}
+
+void
+Accelerator::resetStats()
+{
+    computeBusy_.clear();
+    tasksExecuted_.reset();
+    spm_->resetStats();
+    dma_->resetStats();
+}
+
+} // namespace relief

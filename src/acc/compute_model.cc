@@ -1,0 +1,83 @@
+#include "acc/compute_model.hh"
+
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+double
+referenceComputeUs(AccType type)
+{
+    // Table I: per-task compute time in microseconds for 128x128 inputs.
+    switch (type) {
+      case AccType::ISP:
+        return 34.88;
+      case AccType::Grayscale:
+        return 10.26;
+      case AccType::Convolution:
+        return 1545.61; // 5x5 filter.
+      case AccType::ElemMatrix:
+        return 10.94;
+      case AccType::CannyNonMax:
+        return 443.02;
+      case AccType::HarrisNonMax:
+        return 105.01;
+      case AccType::EdgeTracking:
+        return 324.73;
+    }
+    panic("unknown accelerator type");
+}
+
+Tick
+computeTime(const TaskParams &params)
+{
+    RELIEF_ASSERT(params.elems > 0, "task with zero elements");
+    double us = referenceComputeUs(params.type);
+    us *= double(params.elems) / double(referenceElems);
+    if (params.type == AccType::Convolution) {
+        RELIEF_ASSERT(params.filterSize >= 1 && params.filterSize <= 5,
+                      "convolution supports filters up to 5x5, got ",
+                      params.filterSize);
+        us *= double(params.filterSize * params.filterSize) / 25.0;
+    }
+    return fromUs(us);
+}
+
+std::uint64_t
+inputBytesPerOperand(const TaskParams &params)
+{
+    // 32-bit elements everywhere except the ISP's 16-bit raw Bayer input.
+    std::uint64_t bytes_per_elem = params.type == AccType::ISP ? 2 : 4;
+    return std::uint64_t(params.elems) * bytes_per_elem;
+}
+
+std::uint64_t
+outputBytes(const TaskParams &params)
+{
+    return std::uint64_t(params.elems) * 4;
+}
+
+std::uint64_t
+defaultSpmBytes(AccType type)
+{
+    // Table I scratchpad sizes in bytes.
+    switch (type) {
+      case AccType::ISP:
+        return 115204;
+      case AccType::Grayscale:
+        return 180224;
+      case AccType::Convolution:
+        return 196708;
+      case AccType::ElemMatrix:
+        return 262144;
+      case AccType::CannyNonMax:
+        return 262144;
+      case AccType::HarrisNonMax:
+        return 196608;
+      case AccType::EdgeTracking:
+        return 98432;
+    }
+    panic("unknown accelerator type");
+}
+
+} // namespace relief

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Analytic compute-time model for the fixed-function accelerators.
+ *
+ * The paper (Section III-B, Observation 7) exploits the fact that
+ * fixed-function accelerator compute time is a data-independent function
+ * of input size and requested operation, profiled once. This model is
+ * that profile: per-task times calibrated to Table I for 128x128
+ * (16384-element) tasks at 1 GHz, scaled linearly with element count,
+ * and — for convolution — with filter area (Table I's 1545.61 us is the
+ * 5x5 maximum-filter case).
+ *
+ * Calibration cross-check (documented in DESIGN.md): the Richardson-Lucy
+ * deblur DAG built from this model sums to 15610.6 us of compute,
+ * matching Table II's 15610.58 us.
+ */
+
+#ifndef RELIEF_ACC_COMPUTE_MODEL_HH
+#define RELIEF_ACC_COMPUTE_MODEL_HH
+
+#include <cstdint>
+
+#include "acc/acc_types.hh"
+#include "sim/ticks.hh"
+
+namespace relief
+{
+
+/** Per-task operation parameters used by the timing model. */
+struct TaskParams
+{
+    AccType type = AccType::ElemMatrix;
+    std::uint32_t elems = 16384;   ///< Elements processed (128x128).
+    int filterSize = 5;            ///< Convolution filter edge length.
+    ElemOp op = ElemOp::Add;       ///< Elem-matrix operation.
+    int numInputs = 1;             ///< Input operand count.
+};
+
+/** Reference element count the Table I profile was taken at. */
+constexpr std::uint32_t referenceElems = 16384;
+
+/** Profiled compute time for a 16384-element task of @p type at the
+ *  reference operation (5x5 filter for convolution), in microseconds. */
+double referenceComputeUs(AccType type);
+
+/** Compute time of a task, per the calibrated model. */
+Tick computeTime(const TaskParams &params);
+
+/** Input bytes a task moves per operand (32-bit elements; ISP consumes
+ *  16-bit raw Bayer data). */
+std::uint64_t inputBytesPerOperand(const TaskParams &params);
+
+/** Output bytes a task produces (32-bit elements). */
+std::uint64_t outputBytes(const TaskParams &params);
+
+/** Default scratchpad capacity for @p type in bytes (Table I). */
+std::uint64_t defaultSpmBytes(AccType type);
+
+} // namespace relief
+
+#endif // RELIEF_ACC_COMPUTE_MODEL_HH

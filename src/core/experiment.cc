@@ -1,0 +1,28 @@
+#include "core/experiment.hh"
+
+namespace relief
+{
+
+MetricsReport
+runExperiment(const ExperimentConfig &config)
+{
+    Soc soc(config.soc);
+    for (AppId app : parseMix(config.mix)) {
+        DagPtr dag = buildApp(app, config.app);
+        soc.submit(dag, 0, config.continuous);
+    }
+    soc.run(config.timeLimit);
+    return soc.report();
+}
+
+MetricsReport
+runMixPolicy(const std::string &mix, PolicyKind policy, bool continuous)
+{
+    ExperimentConfig config;
+    config.soc.policy = policy;
+    config.mix = mix;
+    config.continuous = continuous;
+    return runExperiment(config);
+}
+
+} // namespace relief

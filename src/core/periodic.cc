@@ -1,0 +1,37 @@
+#include "core/periodic.hh"
+
+namespace relief
+{
+
+std::vector<DagPtr>
+submitPeriodic(Soc &soc, const PeriodicConfig &config)
+{
+    std::vector<DagPtr> dags;
+    AppConfig app_config = config.appConfig;
+    for (int i = 0; i < config.count; ++i) {
+        app_config.seed = config.appConfig.seed + std::uint32_t(i);
+        DagPtr dag = buildApp(config.app, app_config);
+        soc.submit(dag, config.offset + Tick(i) * config.period);
+        dags.push_back(std::move(dag));
+    }
+    return dags;
+}
+
+std::map<std::string, AppOutcome>
+aggregateApps(const MetricsReport &report)
+{
+    std::map<std::string, AppOutcome> out;
+    for (const AppOutcome &app : report.apps) {
+        auto [it, inserted] = out.emplace(app.name, app);
+        if (inserted)
+            continue;
+        AppOutcome &agg = it->second;
+        agg.iterations += app.iterations;
+        agg.deadlinesMet += app.deadlinesMet;
+        agg.slowdowns.insert(agg.slowdowns.end(), app.slowdowns.begin(),
+                             app.slowdowns.end());
+    }
+    return out;
+}
+
+} // namespace relief

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Periodic workload sources.
+ *
+ * The paper's applications are frame/request driven (60 FPS camera
+ * streams, speech-recognition requests). A PeriodicSource submits a
+ * fresh DAG instance of one application every period — the camera
+ * model the vision pipeline example uses — and the aggregation helper
+ * folds the resulting per-instance outcomes back into one per-app
+ * summary (frames completed, deadline misses, slowdown distribution).
+ */
+
+#ifndef RELIEF_CORE_PERIODIC_HH
+#define RELIEF_CORE_PERIODIC_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/soc.hh"
+#include "dag/apps/apps.hh"
+
+namespace relief
+{
+
+/** One periodic stream of DAG instances. */
+struct PeriodicConfig
+{
+    AppId app = AppId::Canny;
+    Tick period = fromMs(1000.0 / 60.0); ///< Frame period (60 FPS).
+    int count = 3;                       ///< Instances to submit.
+    Tick offset = 0;                     ///< First arrival.
+    AppConfig appConfig;                 ///< Builder knobs; the seed is
+                                         ///< advanced per instance.
+};
+
+/**
+ * Build and submit @p config.count instances of the application, one
+ * per period. Returns the DAG handles (kept alive by the Soc as well).
+ */
+std::vector<DagPtr> submitPeriodic(Soc &soc, const PeriodicConfig &config);
+
+/** Fold per-instance outcomes into one AppOutcome per application
+ *  name (iterations/deadlines/slowdowns concatenated). */
+std::map<std::string, AppOutcome>
+aggregateApps(const MetricsReport &report);
+
+} // namespace relief
+
+#endif // RELIEF_CORE_PERIODIC_HH

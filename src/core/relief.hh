@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Umbrella header: include this to get the whole public RELIEF API.
+ */
+
+#ifndef RELIEF_CORE_RELIEF_HH
+#define RELIEF_CORE_RELIEF_HH
+
+#include "acc/acc_types.hh"
+#include "acc/accelerator.hh"
+#include "acc/compute_model.hh"
+#include "core/cli.hh"
+#include "core/experiment.hh"
+#include "core/periodic.hh"
+#include "core/soc.hh"
+#include "dag/apps/apps.hh"
+#include "dag/apps/extra_apps.hh"
+#include "dag/dag.hh"
+#include "dag/node.hh"
+#include "kernels/elemwise.hh"
+#include "kernels/filters.hh"
+#include "kernels/image.hh"
+#include "kernels/rnn.hh"
+#include "kernels/vision.hh"
+#include "manager/hardware_manager.hh"
+#include "predict/bandwidth_predictor.hh"
+#include "predict/runtime_predictor.hh"
+#include "sched/baseline_policies.hh"
+#include "sched/policy.hh"
+#include "sched/relief.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+#include "sim/ticks.hh"
+#include "stats/stats.hh"
+#include "stats/table.hh"
+#include "workload/scenario.hh"
+
+#endif // RELIEF_CORE_RELIEF_HH

@@ -1,0 +1,294 @@
+#include "core/soc.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+#include "sched/relief.hh"
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+double
+AppOutcome::meanSlowdown() const
+{
+    if (slowdowns.empty())
+        return std::numeric_limits<double>::infinity();
+    return geomean(slowdowns);
+}
+
+double
+AppOutcome::maxSlowdown() const
+{
+    if (slowdowns.empty())
+        return std::numeric_limits<double>::infinity();
+    return *std::max_element(slowdowns.begin(), slowdowns.end());
+}
+
+double
+MetricsReport::dramTrafficFraction() const
+{
+    return run.baselineBytes ? double(dramBytes) / double(run.baselineBytes)
+                             : 0.0;
+}
+
+double
+MetricsReport::spmTrafficFraction() const
+{
+    return run.baselineBytes
+               ? double(spmForwardBytes) / double(run.baselineBytes)
+               : 0.0;
+}
+
+Soc::Soc(const SocConfig &config) : config_(config)
+{
+    if (config.bankedMemory) {
+        // Bank knobs come from config.banked; the channel-level knobs
+        // (peak bandwidth, latency, energy) follow config.mem.
+        BankedMemoryConfig banked = config.banked;
+        static_cast<MainMemoryConfig &>(banked) = config.mem;
+        dram_ = std::make_unique<BankedMemory>(sim_, "soc.dram", banked);
+    } else {
+        dram_ = std::make_unique<MainMemory>(sim_, "soc.dram",
+                                             config.mem);
+    }
+    switch (config.fabric) {
+      case FabricKind::Bus:
+        fabric_ = std::make_unique<Bus>(sim_, "soc.bus", config.bus);
+        break;
+      case FabricKind::Crossbar:
+        fabric_ = std::make_unique<Crossbar>(sim_, "soc.xbar",
+                                             config.crossbar);
+        break;
+      case FabricKind::Ring:
+        fabric_ = std::make_unique<Ring>(sim_, "soc.ring", config.ring);
+        break;
+    }
+    dramPort_ = fabric_->registerPort("dram");
+
+    std::vector<Accelerator *> acc_ptrs;
+    for (AccType type : allAccTypes) {
+        for (int i = 0; i < config.instances[accIndex(type)]; ++i) {
+            ScratchpadConfig spm;
+            spm.sizeBytes = defaultSpmBytes(type);
+            spm.numOutputPartitions = config.spmPartitions;
+            std::string acc_name = std::string("soc.") +
+                                   accTypeName(type) + std::to_string(i);
+            accs_.push_back(std::make_unique<Accelerator>(
+                sim_, acc_name, type, i, *fabric_, dramPort_, *dram_, spm,
+                config.dma));
+            acc_ptrs.push_back(accs_.back().get());
+        }
+    }
+
+    auto predictor = std::make_unique<RuntimePredictor>(
+        config.bwPredictor, config.dmPredictor, config.mem.peakGBs,
+        config.instances);
+
+    std::unique_ptr<Policy> policy;
+    bool relief_family = config.policy == PolicyKind::Relief ||
+                         config.policy == PolicyKind::ReliefLax ||
+                         config.policy == PolicyKind::ReliefHetSched;
+    if (relief_family && !config.reliefFeasibilityCheck) {
+        ReliefOptions options;
+        options.laxDispatch = config.policy == PolicyKind::ReliefLax;
+        options.scheme = config.policy == PolicyKind::ReliefHetSched
+                             ? DeadlineScheme::Sdr
+                             : DeadlineScheme::CriticalPath;
+        options.feasibilityCheck = false;
+        policy = std::make_unique<ReliefPolicy>(options);
+    } else {
+        policy = makePolicy(config.policy);
+    }
+
+    manager_ = std::make_unique<HardwareManager>(
+        sim_, "soc.manager", std::move(policy), std::move(predictor),
+        acc_ptrs, config.manager);
+    manager_->setDagCompletionHandler(
+        [this](Dag *dag) { onDagComplete(dag); });
+}
+
+Soc::~Soc() = default;
+
+std::vector<Accelerator *>
+Soc::accelerators()
+{
+    std::vector<Accelerator *> out;
+    out.reserve(accs_.size());
+    for (auto &acc : accs_)
+        out.push_back(acc.get());
+    return out;
+}
+
+void
+Soc::submit(DagPtr dag, Tick when, bool continuous)
+{
+    RELIEF_ASSERT(dag != nullptr, "submitting null DAG");
+    Submission sub;
+    sub.dag = dag;
+    sub.continuous = continuous;
+    sub.outcome.name = dag->name();
+    sub.outcome.symbol = dag->symbol();
+    sub.outcome.relDeadline = dag->relativeDeadline();
+    submissions_.push_back(std::move(sub));
+    manager_->submitDag(dag.get(), when);
+}
+
+void
+Soc::onDagComplete(Dag *dag)
+{
+    for (Submission &sub : submissions_) {
+        if (sub.dag.get() != dag)
+            continue;
+        Tick runtime = dag->finishTick() - dag->arrivalTick();
+        sub.outcome.iterations += 1;
+        if (dag->finishTick() <= dag->absoluteDeadline())
+            sub.outcome.deadlinesMet += 1;
+        sub.outcome.slowdowns.push_back(
+            double(runtime) / double(dag->relativeDeadline()));
+        if (sub.continuous && sim_.now() < runLimit_)
+            manager_->submitDag(dag, sim_.now());
+        return;
+    }
+    panic("completion callback for unknown DAG ", dag->name());
+}
+
+void
+Soc::dumpStats(std::ostream &os) const
+{
+    auto line = [&os](const std::string &name, auto value,
+                      const char *comment) {
+        os << std::left << std::setw(44) << name << " " << std::setw(16)
+           << value << " # " << comment << "\n";
+    };
+
+    os << "---------- Begin Simulation Statistics ----------\n";
+    line("sim.ticks", sim_.events().curTick(), "final tick (ps)");
+    line("sim.time_ms", toMs(sim_.events().curTick()),
+         "simulated milliseconds");
+    line("sim.events", sim_.events().numExecuted(), "events executed");
+
+    line("dram.read_bytes", dram_->readBytes(), "bytes read from DRAM");
+    line("dram.write_bytes", dram_->writeBytes(),
+         "bytes written to DRAM");
+    line("dram.energy_pj", dram_->energyPJ(), "dynamic DRAM energy");
+    line("dram.channel.busy_us",
+         toUs(dram_->channel().busyTime(endTick_)),
+         "channel busy time");
+    line("dram.channel.transfers", dram_->channel().numTransfers(),
+         "channel reservations");
+
+    line("fabric.bytes", fabric_->totalBytes(), "fabric payload bytes");
+    line("fabric.transfers", fabric_->numTransfers(),
+         "fabric transactions");
+    line("fabric.occupancy", fabric_->occupancy(endTick_),
+         "fraction of time busy");
+
+    for (const auto &acc : accs_) {
+        const std::string prefix = acc->name();
+        line(prefix + ".tasks", acc->tasksExecuted(), "tasks completed");
+        line(prefix + ".compute_busy_us",
+             toUs(acc->computeBusyTime(endTick_)), "compute busy time");
+        line(prefix + ".spm.read_bytes", acc->spm().readBytes(),
+             "scratchpad bytes read");
+        line(prefix + ".spm.write_bytes", acc->spm().writeBytes(),
+             "scratchpad bytes written");
+        line(prefix + ".spm.energy_pj", acc->spm().energyPJ(),
+             "scratchpad energy");
+        line(prefix + ".dma.dram_read_bytes",
+             acc->dma().bytesMoved(TrafficClass::DramRead),
+             "DRAM loads issued");
+        line(prefix + ".dma.dram_write_bytes",
+             acc->dma().bytesMoved(TrafficClass::DramWrite),
+             "DRAM write-backs issued");
+        line(prefix + ".dma.forward_bytes",
+             acc->dma().bytesMoved(TrafficClass::SpmForward),
+             "forwarded bytes pulled");
+    }
+
+    const RunMetrics &m = manager_->metrics();
+    line("manager.edges", m.edgesConsumed, "parent edges satisfied");
+    line("manager.forwards", m.forwards, "edges forwarded SPM-to-SPM");
+    line("manager.colocations", m.colocations, "edges colocated");
+    line("manager.dram_edges", m.dramEdges, "edges served from DRAM");
+    line("manager.writebacks_avoided", m.writebacksAvoided,
+         "outputs never sent to DRAM");
+    line("manager.nodes_finished", m.nodesFinished, "tasks completed");
+    line("manager.node_deadlines_met", m.nodeDeadlinesMet,
+         "tasks within deadline");
+    line("manager.dags_finished", m.dagsFinished, "DAGs completed");
+    line("manager.dag_deadlines_met", m.dagDeadlinesMet,
+         "DAGs within deadline");
+    line("manager.busy_us", toUs(m.managerBusyTime),
+         "modeled scheduling time");
+    line("manager.push_mean_us", toUs(Tick(m.pushLatency.mean())),
+         "mean ready-queue insert cost");
+    line("manager.queue_wait_mean_us", toUs(Tick(m.queueWait.mean())),
+         "mean ready-to-launch wait");
+    line("manager.queue_wait_max_us", toUs(Tick(m.queueWait.max())),
+         "max ready-to-launch wait");
+    line("manager.queue_depth_mean", m.queueDepth.mean(),
+         "mean queue length at insert");
+
+    for (const Submission &sub : submissions_) {
+        const AppOutcome &app = sub.outcome;
+        line("app." + app.name + ".iterations", app.iterations,
+             "completed executions");
+        line("app." + app.name + ".deadlines_met", app.deadlinesMet,
+             "executions within deadline");
+        if (!app.slowdowns.empty()) {
+            line("app." + app.name + ".gmean_slowdown",
+                 app.meanSlowdown(), "runtime / deadline");
+        }
+    }
+    os << "---------- End Simulation Statistics ----------\n";
+}
+
+TraceRecorder &
+Soc::enableTracing()
+{
+    if (!trace_) {
+        trace_ = std::make_unique<TraceRecorder>();
+        manager_->setTrace(trace_.get());
+    }
+    return *trace_;
+}
+
+Tick
+Soc::run(Tick limit)
+{
+    runLimit_ = limit;
+    endTick_ = sim_.run(limit);
+    return endTick_;
+}
+
+MetricsReport
+Soc::report() const
+{
+    MetricsReport report;
+    report.run = manager_->metrics();
+    report.execTime = endTick_;
+    report.dramBytes = dram_->totalBytes();
+    report.dramEnergyPJ = dram_->energyPJ();
+
+    Tick busy_sum = 0;
+    for (const auto &acc : accs_) {
+        report.spmForwardBytes +=
+            acc->dma().bytesMoved(TrafficClass::SpmForward);
+        report.spmBytes += acc->spm().readBytes() + acc->spm().writeBytes();
+        report.spmEnergyPJ += acc->spm().energyPJ();
+        busy_sum += acc->computeBusyTime(endTick_);
+    }
+    report.accOccupancy =
+        endTick_ ? double(busy_sum) / double(endTick_) : 0.0;
+    report.fabricOccupancy = fabric_->occupancy(endTick_);
+
+    for (const Submission &sub : submissions_)
+        report.apps.push_back(sub.outcome);
+    return report;
+}
+
+} // namespace relief

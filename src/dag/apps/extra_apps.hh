@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Additional applications composed from the same seven elementary
+ * accelerators (the paper's Section II premise: applications across
+ * domains share kernels, so new apps are stitched from the existing
+ * set rather than given dedicated hardware). These go beyond the
+ * paper's five benchmarks and are used by examples and tests:
+ *
+ *  - sharpen:    unsharp masking — ISP, grayscale, Gaussian blur,
+ *                elementwise subtract/scale/add;
+ *  - sobel-view: gradient-magnitude visualization — the front half of
+ *                Canny without NMS/hysteresis;
+ *  - motion:     frame differencing with smoothing and thresholding —
+ *                two ISP chains feeding elementwise |A - B|.
+ */
+
+#ifndef RELIEF_DAG_APPS_EXTRA_APPS_HH
+#define RELIEF_DAG_APPS_EXTRA_APPS_HH
+
+#include "dag/apps/apps.hh"
+#include "kernels/image.hh"
+
+namespace relief
+{
+
+/** Unsharp-mask sharpening. Functional leaf equals
+ *  sharpenReference(). */
+DagPtr buildSharpen(const AppConfig &config = {});
+
+/** Sobel gradient magnitude. Functional leaf equals
+ *  sobelViewReference(). */
+DagPtr buildSobelView(const AppConfig &config = {});
+
+/** Two-frame motion detection. Functional leaf equals
+ *  motionReference(). */
+DagPtr buildMotion(const AppConfig &config = {});
+
+/** Reference implementations for validating the DAGs. */
+Plane sharpenReference(const BayerImage &raw, float amount = 0.6f);
+Plane sobelViewReference(const BayerImage &raw);
+Plane motionReference(const BayerImage &frame_a, const BayerImage &frame_b,
+                      float threshold = 0.08f);
+
+} // namespace relief
+
+#endif // RELIEF_DAG_APPS_EXTRA_APPS_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared functional-payload closures for the vision DAG builders:
+ * elementwise stages, convolution stages, and the ISP/grayscale pair
+ * with its packed [R|G|B] intermediate layout.
+ */
+
+#ifndef RELIEF_DAG_APPS_FUNCTIONAL_UTIL_HH
+#define RELIEF_DAG_APPS_FUNCTIONAL_UTIL_HH
+
+#include <utility>
+#include <vector>
+
+#include "dag/apps/builder_util.hh"
+#include "dag/node.hh"
+#include "kernels/elemwise.hh"
+#include "kernels/filters.hh"
+#include "kernels/vision.hh"
+#include "sim/logging.hh"
+
+namespace relief::appfn
+{
+
+using Inputs = std::vector<const std::vector<float> *>;
+
+/** Closure running a unary/binary elementwise op on flat buffers. */
+inline NodeFn
+emFn(ElemOp op, float scalar = 1.0f)
+{
+    return [op, scalar](const Inputs &in) {
+        RELIEF_ASSERT(!in.empty(), "elem node with no inputs");
+        if (elemOpIsBinary(op)) {
+            RELIEF_ASSERT(in.size() == 2,
+                          "binary elem node needs 2 inputs");
+            return elemwise(op, *in[0], in[1], scalar);
+        }
+        return elemwise(op, *in[0], nullptr, scalar);
+    };
+}
+
+/** Closure convolving a single plane input with a captured filter. */
+inline NodeFn
+convFn(Filter2D filter, int w, int h)
+{
+    return [filter, w, h](const Inputs &in) {
+        RELIEF_ASSERT(in.size() == 1, "conv node needs 1 input");
+        return convolve(planeFromVec(*in[0], w, h), filter).data();
+    };
+}
+
+/** ISP stage producing packed [R|G|B] planes from a captured raw
+ *  sensor image. */
+inline NodeFn
+ispFn(BayerImage raw)
+{
+    return [raw = std::move(raw)](const Inputs &) {
+        RgbImage rgb = isp(raw);
+        std::vector<float> packed;
+        packed.reserve(rgb.r.size() * 3);
+        packed.insert(packed.end(), rgb.r.data().begin(),
+                      rgb.r.data().end());
+        packed.insert(packed.end(), rgb.g.data().begin(),
+                      rgb.g.data().end());
+        packed.insert(packed.end(), rgb.b.data().begin(),
+                      rgb.b.data().end());
+        return packed;
+    };
+}
+
+/** Grayscale stage consuming the packed [R|G|B] layout. */
+inline NodeFn
+grayFn(int w, int h)
+{
+    return [w, h](const Inputs &in) {
+        RELIEF_ASSERT(in.size() == 1, "grayscale node needs 1 input");
+        const auto &packed = *in[0];
+        std::size_t n = std::size_t(w) * std::size_t(h);
+        RELIEF_ASSERT(packed.size() == 3 * n, "bad packed RGB size");
+        RgbImage rgb(w, h);
+        std::copy(packed.begin(), packed.begin() + long(n),
+                  rgb.r.data().begin());
+        std::copy(packed.begin() + long(n), packed.begin() + long(2 * n),
+                  rgb.g.data().begin());
+        std::copy(packed.begin() + long(2 * n), packed.end(),
+                  rgb.b.data().begin());
+        return grayscale(rgb).data();
+    };
+}
+
+} // namespace relief::appfn
+
+#endif // RELIEF_DAG_APPS_FUNCTIONAL_UTIL_HH

@@ -1,0 +1,165 @@
+#include "dag/workload_file.hh"
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "acc/acc_types.hh"
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+namespace
+{
+
+AccType
+accFromSymbol(const std::string &symbol, int line)
+{
+    for (AccType type : allAccTypes)
+        if (symbol == accTypeSymbol(type))
+            return type;
+    fatal("workload line ", line, ": unknown accelerator '", symbol,
+          "'");
+}
+
+ElemOp
+opFromName(const std::string &name, int line)
+{
+    for (int i = 0; i <= int(ElemOp::OneMinus); ++i) {
+        auto op = ElemOp(i);
+        if (name == elemOpName(op))
+            return op;
+    }
+    fatal("workload line ", line, ": unknown elem op '", name, "'");
+}
+
+double
+numberArg(std::istringstream &words, const std::string &key, int line)
+{
+    double value = 0.0;
+    if (!(words >> value))
+        fatal("workload line ", line, ": '", key, "' needs a number");
+    return value;
+}
+
+} // namespace
+
+std::vector<DagPtr>
+parseWorkload(std::istream &in)
+{
+    std::vector<DagPtr> dags;
+    DagPtr current;
+    std::map<std::string, Node *> names;
+    std::string line;
+    int line_no = 0;
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream words(line);
+        std::string verb;
+        if (!(words >> verb))
+            continue;
+
+        if (verb == "dag") {
+            if (current)
+                fatal("workload line ", line_no,
+                      ": previous dag not closed with 'end'");
+            std::string name, key;
+            double deadline_ms = 0.0;
+            if (!(words >> name >> key) || key != "deadline_ms")
+                fatal("workload line ", line_no,
+                      ": expected 'dag <name> deadline_ms <ms>'");
+            deadline_ms = numberArg(words, key, line_no);
+            if (deadline_ms <= 0.0)
+                fatal("workload line ", line_no,
+                      ": deadline must be positive");
+            current = std::make_shared<Dag>(name, name.empty() ? '?'
+                                                               : name[0]);
+            current->setRelativeDeadline(fromMs(deadline_ms));
+            names.clear();
+        } else if (verb == "node") {
+            if (!current)
+                fatal("workload line ", line_no, ": 'node' outside dag");
+            std::string name, acc;
+            if (!(words >> name >> acc))
+                fatal("workload line ", line_no,
+                      ": expected 'node <name> <ACC> ...'");
+            if (names.count(name))
+                fatal("workload line ", line_no, ": duplicate node '",
+                      name, "'");
+            TaskParams params;
+            params.type = accFromSymbol(acc, line_no);
+            Tick fixed_runtime = 0;
+            std::string key;
+            while (words >> key) {
+                if (key == "elems") {
+                    params.elems =
+                        std::uint32_t(numberArg(words, key, line_no));
+                } else if (key == "filter") {
+                    params.filterSize =
+                        int(numberArg(words, key, line_no));
+                } else if (key == "inputs") {
+                    params.numInputs =
+                        int(numberArg(words, key, line_no));
+                } else if (key == "op") {
+                    std::string op_name;
+                    if (!(words >> op_name))
+                        fatal("workload line ", line_no,
+                              ": 'op' needs a name");
+                    params.op = opFromName(op_name, line_no);
+                } else if (key == "runtime_us") {
+                    fixed_runtime =
+                        fromUs(numberArg(words, key, line_no));
+                } else {
+                    fatal("workload line ", line_no,
+                          ": unknown node attribute '", key, "'");
+                }
+            }
+            Node *node = current->addNode(
+                params, current->name() + "." + name);
+            node->fixedRuntime = fixed_runtime;
+            names[name] = node;
+        } else if (verb == "edge") {
+            if (!current)
+                fatal("workload line ", line_no, ": 'edge' outside dag");
+            std::string parent, child;
+            if (!(words >> parent >> child))
+                fatal("workload line ", line_no,
+                      ": expected 'edge <parent> <child>'");
+            if (!names.count(parent) || !names.count(child))
+                fatal("workload line ", line_no, ": unknown node in '",
+                      parent, " -> ", child, "'");
+            current->addEdge(names[parent], names[child]);
+        } else if (verb == "end") {
+            if (!current)
+                fatal("workload line ", line_no, ": 'end' outside dag");
+            current->finalize();
+            dags.push_back(std::move(current));
+            current.reset();
+        } else {
+            fatal("workload line ", line_no, ": unknown statement '",
+                  verb, "'");
+        }
+    }
+    if (current)
+        fatal("workload file ended inside dag '", current->name(), "'");
+    if (dags.empty())
+        fatal("workload file defines no DAGs");
+    return dags;
+}
+
+std::vector<DagPtr>
+loadWorkloadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot read workload file '", path, "'");
+    return parseWorkload(in);
+}
+
+} // namespace relief

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Text workload format: describe arbitrary task DAGs in a small
+ * line-oriented language and run them through `relief_sim --workload`.
+ *
+ * Grammar (one statement per line, '#' comments):
+ *
+ *   dag <name> deadline_ms <float>     # open a DAG
+ *   node <name> <ACC> [elems N] [filter N] [inputs N] [op NAME]
+ *                                      [runtime_us X]
+ *   edge <parent> <child>              # within the open DAG
+ *   end                                # close the DAG
+ *
+ * <ACC> is a Table I symbol (I, G, C, EM, CNM, HNM, ET); `runtime_us`
+ * overrides the calibrated timing model (fixedRuntime). Example:
+ *
+ *   dag pipeline deadline_ms 5.0
+ *   node load I
+ *   node gray G
+ *   node blur C filter 3
+ *   node stats EM op add inputs 2
+ *   edge load gray
+ *   edge gray blur
+ *   edge gray stats
+ *   edge blur stats
+ *   end
+ */
+
+#ifndef RELIEF_DAG_WORKLOAD_FILE_HH
+#define RELIEF_DAG_WORKLOAD_FILE_HH
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "dag/dag.hh"
+
+namespace relief
+{
+
+/** Parse workload text; throws FatalError with line numbers on bad
+ *  input. Returned DAGs are finalized and ready to submit. */
+std::vector<DagPtr> parseWorkload(std::istream &in);
+
+/** Load a workload file from disk. */
+std::vector<DagPtr> loadWorkloadFile(const std::string &path);
+
+} // namespace relief
+
+#endif // RELIEF_DAG_WORKLOAD_FILE_HH

@@ -1,0 +1,195 @@
+#include "dma/dma_engine.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+DmaEngine::DmaEngine(Simulator &sim, std::string name, Interconnect &fabric,
+                     PortId dram_port, MainMemory &dram,
+                     Scratchpad &localSpm, const DmaConfig &config)
+    : SimObject(sim, std::move(name)), fabric_(fabric), dram_(dram),
+      localSpm_(localSpm), config_(config),
+      port_(fabric.registerPort(this->name())), dramPort_(dram_port),
+      readChannel_(this->name() + ".rd", config.channelGBs,
+                   config.setupLatency),
+      writeChannel_(this->name() + ".wr", config.channelGBs,
+                    config.setupLatency)
+{
+}
+
+Tick
+DmaEngine::launch(std::vector<BandwidthResource *> path,
+                  std::uint64_t bytes, TrafficClass cls, Callback on_done)
+{
+    if (config_.burstBytes > 0 && bytes > config_.burstBytes) {
+        return launchChunked(std::move(path), bytes, cls,
+                             std::move(on_done));
+    }
+    auto timing = reserveTransfer(path, now(), bytes);
+    fabric_.recordTransfer(timing.start, timing.end, bytes);
+    // Producer-side read energy of forwards is accounted by the
+    // caller, which knows which scratchpad it pulled from.
+    accountTraffic(bytes, cls);
+
+    if (on_done) {
+        sim().at(timing.end, std::move(on_done), name() + ".done");
+    }
+    return timing.end;
+}
+
+Tick
+DmaEngine::launchChunked(std::vector<BandwidthResource *> path,
+                         std::uint64_t bytes, TrafficClass cls,
+                         Callback on_done)
+{
+    accountTraffic(bytes, cls);
+
+    // Claim one burst now; each burst's completion event claims the
+    // next, so competing streams interleave at burst granularity.
+    // The returned tick is a lower bound on completion (exact when
+    // nothing else queues behind us); the callback fires at the true
+    // completion time.
+    auto state = std::make_shared<ChunkState>();
+    state->path = std::move(path);
+    state->remaining = bytes;
+    state->onDone = std::move(on_done);
+    issueNextChunk(state);
+
+    Tick optimistic = now();
+    double min_bw = state->path[0]->bandwidth();
+    for (const auto *res : state->path) {
+        optimistic = std::max(optimistic, res->nextFree());
+        min_bw = std::min(min_bw, res->bandwidth());
+    }
+    return optimistic + transferTime(state->remaining, min_bw);
+}
+
+void
+DmaEngine::issueNextChunk(const std::shared_ptr<ChunkState> &state)
+{
+    std::uint64_t n = std::min(state->remaining, config_.burstBytes);
+    state->remaining -= n;
+    auto timing = reserveTransfer(state->path, now(), n);
+    fabric_.recordTransfer(timing.start, timing.end, n);
+    sim().at(timing.end,
+             [this, state]() {
+                 if (state->remaining > 0) {
+                     issueNextChunk(state);
+                 } else if (state->onDone) {
+                     state->onDone();
+                 }
+             },
+             name() + ".chunk");
+}
+
+void
+DmaEngine::accountTraffic(std::uint64_t bytes, TrafficClass cls)
+{
+    switch (cls) {
+      case TrafficClass::DramRead:
+        dram_.recordRead(bytes);
+        localSpm_.recordWrite(bytes);
+        dramReadBytes_.add(bytes);
+        break;
+      case TrafficClass::DramWrite:
+        localSpm_.recordRead(bytes);
+        dram_.recordWrite(bytes);
+        dramWriteBytes_.add(bytes);
+        break;
+      case TrafficClass::SpmForward:
+        localSpm_.recordWrite(bytes);
+        forwardBytes_.add(bytes);
+        break;
+    }
+}
+
+Tick
+DmaEngine::readFromDram(std::uint64_t bytes, Callback on_done,
+                        std::uint64_t stream_hint)
+{
+    auto path = fabric_.path(dramPort_, port_);
+    auto mem = dram_.path(stream_hint);
+    path.insert(path.begin(), mem.begin(), mem.end());
+    path.insert(path.begin(), &readChannel_);
+    path.push_back(&localSpm_.port());
+    return launch(std::move(path), bytes, TrafficClass::DramRead,
+                  std::move(on_done));
+}
+
+Tick
+DmaEngine::writeToDram(std::uint64_t bytes, Callback on_done,
+                       std::uint64_t stream_hint)
+{
+    auto path = fabric_.path(port_, dramPort_);
+    path.insert(path.begin(), &localSpm_.port());
+    path.insert(path.begin(), &writeChannel_);
+    auto mem = dram_.path(stream_hint);
+    path.insert(path.end(), mem.begin(), mem.end());
+    return launch(std::move(path), bytes, TrafficClass::DramWrite,
+                  std::move(on_done));
+}
+
+Tick
+DmaEngine::forwardFrom(Scratchpad &producer, PortId producer_port,
+                       std::uint64_t bytes, Callback on_done)
+{
+    RELIEF_ASSERT(&producer != &localSpm_,
+                  name(), ": use colocation, not forwarding, for the "
+                  "local scratchpad");
+    producer.recordRead(bytes);
+    auto path = fabric_.path(producer_port, port_);
+    path.insert(path.begin(), &producer.port());
+    path.insert(path.begin(), &readChannel_);
+    path.push_back(&localSpm_.port());
+    return launch(std::move(path), bytes, TrafficClass::SpmForward,
+                  std::move(on_done));
+}
+
+Tick
+DmaEngine::streamFrom(Scratchpad &producer, PortId producer_port,
+                      std::uint64_t bytes, Callback on_done)
+{
+    RELIEF_ASSERT(&producer != &localSpm_,
+                  name(), ": streaming from the local scratchpad");
+    producer.recordRead(bytes);
+    localSpm_.recordWrite(bytes);
+    forwardBytes_.add(bytes);
+
+    auto path = fabric_.path(producer_port, port_);
+    auto timing = reserveTransfer(path, now(), bytes);
+    timing.end += config_.streamSetupLatency;
+    fabric_.recordTransfer(timing.start, timing.end, bytes);
+    if (on_done) {
+        sim().at(timing.end, std::move(on_done), name() + ".streamDone");
+    }
+    return timing.end;
+}
+
+std::uint64_t
+DmaEngine::bytesMoved(TrafficClass cls) const
+{
+    switch (cls) {
+      case TrafficClass::DramRead:
+        return dramReadBytes_.value();
+      case TrafficClass::DramWrite:
+        return dramWriteBytes_.value();
+      case TrafficClass::SpmForward:
+        return forwardBytes_.value();
+    }
+    return 0;
+}
+
+void
+DmaEngine::resetStats()
+{
+    readChannel_.resetStats();
+    writeChannel_.resetStats();
+    dramReadBytes_.reset();
+    dramWriteBytes_.reset();
+    forwardBytes_.reset();
+}
+
+} // namespace relief

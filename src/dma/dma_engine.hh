@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Per-accelerator DMA engine.
+ *
+ * Each accelerator owns a DMA engine with independent read and write
+ * channels (loads of the next task can overlap the write-back of the
+ * previous one). The engine moves data between main memory and the
+ * local scratchpad, or pulls directly from a producer accelerator's
+ * scratchpad over the interconnect — the forwarding mechanism the paper
+ * assumes (scratchpads exposed read-only on the DMA plane).
+ */
+
+#ifndef RELIEF_DMA_DMA_ENGINE_HH
+#define RELIEF_DMA_DMA_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "interconnect/interconnect.hh"
+#include "mem/bandwidth_resource.hh"
+#include "mem/main_memory.hh"
+#include "mem/scratchpad.hh"
+#include "sim/simulator.hh"
+
+namespace relief
+{
+
+/** Categories of modeled traffic (drives Fig. 5's breakdown). */
+enum class TrafficClass
+{
+    DramRead,   ///< DRAM -> local SPM.
+    DramWrite,  ///< local SPM -> DRAM (write-back).
+    SpmForward, ///< producer SPM -> local SPM (forward).
+};
+
+/** Configuration for DmaEngine. */
+struct DmaConfig
+{
+    double channelGBs = 16.0;          ///< Max rate per channel.
+    Tick setupLatency = fromNs(500.0); ///< Descriptor programming cost.
+    Tick streamSetupLatency = fromNs(100.0); ///< AXI-stream handshake.
+    /**
+     * Split transfers into bursts of this many bytes, claiming shared
+     * resources one burst at a time so concurrent streams interleave
+     * at burst granularity instead of serializing whole buffers.
+     * 0 = move each buffer as one reservation (the default; whole-
+     * buffer timing is what the Table I calibration uses).
+     */
+    std::uint64_t burstBytes = 0;
+};
+
+class DmaEngine : public SimObject
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * @param sim       Simulation context.
+     * @param name      Debug name.
+     * @param fabric    Interconnect; the engine registers its own port.
+     * @param dram_port Port where main memory attaches to @p fabric.
+     * @param dram      Main memory endpoint.
+     * @param localSpm  The owning accelerator's scratchpad.
+     */
+    DmaEngine(Simulator &sim, std::string name, Interconnect &fabric,
+              PortId dram_port, MainMemory &dram, Scratchpad &localSpm,
+              const DmaConfig &config = {});
+
+    /** Interconnect port this engine (and its SPM) attaches through. */
+    PortId port() const { return port_; }
+
+    /**
+     * DRAM -> local SPM load of @p bytes.
+     *
+     * @param stream_hint Identifies the buffer being streamed (task
+     *        node id); the banked memory model maps it to a bank.
+     * @return the reservation's end tick; @p on_done fires then.
+     */
+    Tick readFromDram(std::uint64_t bytes, Callback on_done,
+                      std::uint64_t stream_hint = 0);
+
+    /** Local SPM -> DRAM write-back of @p bytes. */
+    Tick writeToDram(std::uint64_t bytes, Callback on_done,
+                     std::uint64_t stream_hint = 0);
+
+    /**
+     * Producer SPM -> local SPM forward of @p bytes. The caller is
+     * responsible for ongoing-read bookkeeping on the producer
+     * partition (beginRead before calling, endRead from @p on_done).
+     */
+    Tick forwardFrom(Scratchpad &producer, PortId producer_port,
+                     std::uint64_t bytes, Callback on_done);
+
+    /**
+     * AXI-stream-style forward: a dedicated producer/consumer FIFO
+     * over the fabric (the paper's Section II alternative mechanism,
+     * cf. ARM AXI-Stream / VIP buffers). Bypasses the DMA read channel
+     * and both scratchpad ports — only the fabric is claimed, with a
+     * small per-stream setup cost. Accounting matches forwardFrom().
+     */
+    Tick streamFrom(Scratchpad &producer, PortId producer_port,
+                    std::uint64_t bytes, Callback on_done);
+
+    /** Earliest tick the read channel can accept a new transfer. */
+    Tick readChannelFree() const { return readChannel_.nextFree(); }
+
+    /** Earliest tick the write channel can accept a new transfer. */
+    Tick writeChannelFree() const { return writeChannel_.nextFree(); }
+
+    std::uint64_t bytesMoved(TrafficClass cls) const;
+
+    void resetStats();
+
+  private:
+    /** In-flight burst-mode transfer. */
+    struct ChunkState
+    {
+        std::vector<BandwidthResource *> path;
+        std::uint64_t remaining = 0;
+        Callback onDone;
+    };
+
+    Tick launch(std::vector<BandwidthResource *> path, std::uint64_t bytes,
+                TrafficClass cls, Callback on_done);
+    Tick launchChunked(std::vector<BandwidthResource *> path,
+                       std::uint64_t bytes, TrafficClass cls,
+                       Callback on_done);
+    void issueNextChunk(const std::shared_ptr<ChunkState> &state);
+    void accountTraffic(std::uint64_t bytes, TrafficClass cls);
+
+    Interconnect &fabric_;
+    MainMemory &dram_;
+    Scratchpad &localSpm_;
+    DmaConfig config_;
+    PortId port_;
+    PortId dramPort_;
+    BandwidthResource readChannel_;
+    BandwidthResource writeChannel_;
+    Counter dramReadBytes_;
+    Counter dramWriteBytes_;
+    Counter forwardBytes_;
+};
+
+} // namespace relief
+
+#endif // RELIEF_DMA_DMA_ENGINE_HH

@@ -1,0 +1,14 @@
+#include "interconnect/interconnect.hh"
+
+namespace relief
+{
+
+void
+Interconnect::resetStats()
+{
+    busy_.clear();
+    bytes_.reset();
+    transfers_.reset();
+}
+
+} // namespace relief

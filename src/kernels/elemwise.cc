@@ -1,0 +1,95 @@
+#include "kernels/elemwise.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+bool
+elemOpIsBinary(ElemOp op)
+{
+    switch (op) {
+      case ElemOp::Add:
+      case ElemOp::Sub:
+      case ElemOp::Mul:
+      case ElemOp::Div:
+      case ElemOp::Atan2:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::vector<float>
+elemwise(ElemOp op, const std::vector<float> &a,
+         const std::vector<float> *b, float scalar)
+{
+    if (elemOpIsBinary(op)) {
+        RELIEF_ASSERT(b != nullptr, "binary elem op ", elemOpName(op),
+                      " needs two operands");
+        RELIEF_ASSERT(a.size() == b->size(),
+                      "elem op operand size mismatch: ", a.size(), " vs ",
+                      b->size());
+    }
+
+    std::vector<float> out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        float x = a[i];
+        float y = b ? (*b)[i] : 0.0f;
+        float v = 0.0f;
+        switch (op) {
+          case ElemOp::Add:
+            v = x + y;
+            break;
+          case ElemOp::Sub:
+            v = x - y;
+            break;
+          case ElemOp::Mul:
+            v = x * y;
+            break;
+          case ElemOp::Div:
+            // Guarded divide: Richardson-Lucy divides by a blurred
+            // estimate that can reach zero in dark regions.
+            v = std::abs(y) > 1e-12f ? x / y : 0.0f;
+            break;
+          case ElemOp::Sqr:
+            v = x * x;
+            break;
+          case ElemOp::Sqrt:
+            v = x > 0.0f ? std::sqrt(x) : 0.0f;
+            break;
+          case ElemOp::Atan2:
+            v = std::atan2(x, y);
+            break;
+          case ElemOp::Tanh:
+            v = std::tanh(x);
+            break;
+          case ElemOp::Sigmoid:
+            v = 1.0f / (1.0f + std::exp(-x));
+            break;
+          case ElemOp::Scale:
+            v = x * scalar;
+            break;
+          case ElemOp::OneMinus:
+            v = 1.0f - x;
+            break;
+        }
+        out[i] = v;
+    }
+    return out;
+}
+
+Plane
+elemwise(ElemOp op, const Plane &a, const Plane *b, float scalar)
+{
+    if (b) {
+        RELIEF_ASSERT(a.sameShape(*b), "elem op plane shape mismatch");
+    }
+    Plane out(a.width(), a.height());
+    out.data() = elemwise(op, a.data(), b ? &b->data() : nullptr, scalar);
+    return out;
+}
+
+} // namespace relief

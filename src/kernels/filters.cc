@@ -1,0 +1,116 @@
+#include "kernels/filters.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+Filter2D::Filter2D(int size) : size_(size)
+{
+    RELIEF_ASSERT(size >= 1 && size <= 5,
+                  "filter size must be 1..5, got ", size);
+}
+
+float
+Filter2D::tapSum() const
+{
+    float total = 0.0f;
+    for (int y = 0; y < size_; ++y)
+        for (int x = 0; x < size_; ++x)
+            total += at(x, y);
+    return total;
+}
+
+Filter2D
+Filter2D::flipped() const
+{
+    Filter2D out(size_);
+    for (int y = 0; y < size_; ++y)
+        for (int x = 0; x < size_; ++x)
+            out.at(x, y) = at(size_ - 1 - x, size_ - 1 - y);
+    return out;
+}
+
+Filter2D
+gaussianFilter(int size, float sigma)
+{
+    Filter2D f(size);
+    int half = size / 2;
+    float total = 0.0f;
+    for (int y = 0; y < size; ++y) {
+        for (int x = 0; x < size; ++x) {
+            float dx = float(x - half), dy = float(y - half);
+            float v = std::exp(-(dx * dx + dy * dy) /
+                               (2.0f * sigma * sigma));
+            f.at(x, y) = v;
+            total += v;
+        }
+    }
+    for (int y = 0; y < size; ++y)
+        for (int x = 0; x < size; ++x)
+            f.at(x, y) /= total;
+    return f;
+}
+
+Filter2D
+boxFilter(int size)
+{
+    Filter2D f(size);
+    float v = 1.0f / float(size * size);
+    for (int y = 0; y < size; ++y)
+        for (int x = 0; x < size; ++x)
+            f.at(x, y) = v;
+    return f;
+}
+
+Filter2D
+sobelX()
+{
+    Filter2D f(3);
+    const float taps[9] = {-1, 0, 1, -2, 0, 2, -1, 0, 1};
+    for (int i = 0; i < 9; ++i)
+        f.at(i % 3, i / 3) = taps[i];
+    return f;
+}
+
+Filter2D
+sobelY()
+{
+    Filter2D f(3);
+    const float taps[9] = {-1, -2, -1, 0, 0, 0, 1, 2, 1};
+    for (int i = 0; i < 9; ++i)
+        f.at(i % 3, i / 3) = taps[i];
+    return f;
+}
+
+Filter2D
+identityFilter(int size)
+{
+    Filter2D f(size);
+    f.at(size / 2, size / 2) = 1.0f;
+    return f;
+}
+
+Plane
+convolve(const Plane &input, const Filter2D &filter)
+{
+    Plane out(input.width(), input.height());
+    int half = filter.size() / 2;
+    for (int y = 0; y < input.height(); ++y) {
+        for (int x = 0; x < input.width(); ++x) {
+            float acc = 0.0f;
+            for (int fy = 0; fy < filter.size(); ++fy) {
+                for (int fx = 0; fx < filter.size(); ++fx) {
+                    acc += filter.at(fx, fy) *
+                           input.clampedAt(x + fx - half, y + fy - half);
+                }
+            }
+            out.at(x, y) = acc;
+        }
+    }
+    return out;
+}
+
+} // namespace relief

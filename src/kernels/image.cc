@@ -1,0 +1,102 @@
+#include "kernels/image.hh"
+
+#include <algorithm>
+
+namespace relief
+{
+
+Plane::Plane(int width, int height, float fill)
+    : width_(width), height_(height),
+      data_(std::size_t(width) * std::size_t(height), fill)
+{
+}
+
+float
+Plane::clampedAt(int x, int y) const
+{
+    x = std::clamp(x, 0, width_ - 1);
+    y = std::clamp(y, 0, height_ - 1);
+    return at(x, y);
+}
+
+float
+Plane::minValue() const
+{
+    return data_.empty() ? 0.0f
+                         : *std::min_element(data_.begin(), data_.end());
+}
+
+float
+Plane::maxValue() const
+{
+    return data_.empty() ? 0.0f
+                         : *std::max_element(data_.begin(), data_.end());
+}
+
+double
+Plane::sum() const
+{
+    double total = 0.0;
+    for (float v : data_)
+        total += v;
+    return total;
+}
+
+BayerImage
+makeSyntheticScene(int width, int height, std::uint32_t seed)
+{
+    BayerImage img(width, height);
+    // Small xorshift generator for deterministic sensor noise.
+    std::uint32_t rng = seed ? seed : 1u;
+    auto next_noise = [&rng]() {
+        rng ^= rng << 13;
+        rng ^= rng >> 17;
+        rng ^= rng << 5;
+        return int(rng % 65) - 32; // +-32 counts of noise
+    };
+
+    int rect_x0 = width / 8, rect_x1 = width / 2;
+    int rect_y0 = height / 8, rect_y1 = height / 2;
+    int disc_cx = 3 * width / 4, disc_cy = 3 * height / 4;
+    int disc_r = std::min(width, height) / 6;
+
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            // Scene radiance per channel in [0, 1].
+            float rr = 0.15f + 0.3f * float(x) / float(width);
+            float gg = 0.15f + 0.3f * float(y) / float(height);
+            float bb = 0.2f;
+            bool in_rect = x >= rect_x0 && x < rect_x1 && y >= rect_y0 &&
+                           y < rect_y1;
+            int dx = x - disc_cx, dy = y - disc_cy;
+            bool in_disc = dx * dx + dy * dy < disc_r * disc_r;
+            if (in_rect) {
+                rr = 0.9f;
+                gg = 0.85f;
+                bb = 0.3f;
+            } else if (in_disc) {
+                rr = 0.05f;
+                gg = 0.05f;
+                bb = 0.4f;
+            }
+
+            // RGGB mosaic.
+            float sample;
+            bool even_row = (y % 2) == 0;
+            bool even_col = (x % 2) == 0;
+            if (even_row && even_col)
+                sample = rr;
+            else if (!even_row && !even_col)
+                sample = bb;
+            else
+                sample = gg;
+
+            int counts = int(sample * 4095.0f) + next_noise();
+            img.at(x, y) =
+                std::uint16_t(std::clamp(counts, 0, 4095));
+        }
+    }
+    return img;
+}
+
+} // namespace relief

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Image containers used by the functional kernel implementations.
+ *
+ * The timing model (src/acc) decides *when* a task finishes; these
+ * kernels compute *what* it produces, so examples and tests can validate
+ * whole pipelines end to end (a Canny DAG really detects edges).
+ */
+
+#ifndef RELIEF_KERNELS_IMAGE_HH
+#define RELIEF_KERNELS_IMAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace relief
+{
+
+/** Single-channel float image (row-major). */
+class Plane
+{
+  public:
+    Plane() = default;
+    Plane(int width, int height, float fill = 0.0f);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    std::size_t size() const { return data_.size(); }
+
+    float &at(int x, int y) { return data_[idx(x, y)]; }
+    float at(int x, int y) const { return data_[idx(x, y)]; }
+
+    /** Pixel access with coordinates clamped to the border. */
+    float clampedAt(int x, int y) const;
+
+    std::vector<float> &data() { return data_; }
+    const std::vector<float> &data() const { return data_; }
+
+    bool sameShape(const Plane &other) const
+    {
+        return width_ == other.width_ && height_ == other.height_;
+    }
+
+    float minValue() const;
+    float maxValue() const;
+    double sum() const;
+
+  private:
+    std::size_t
+    idx(int x, int y) const
+    {
+        return std::size_t(y) * std::size_t(width_) + std::size_t(x);
+    }
+
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<float> data_;
+};
+
+/** Three-plane RGB image. */
+struct RgbImage
+{
+    Plane r, g, b;
+
+    RgbImage() = default;
+    RgbImage(int width, int height)
+        : r(width, height), g(width, height), b(width, height)
+    {
+    }
+
+    int width() const { return r.width(); }
+    int height() const { return r.height(); }
+};
+
+/** Raw Bayer-pattern sensor image (RGGB), 16-bit samples. */
+struct BayerImage
+{
+    int width = 0;
+    int height = 0;
+    std::vector<std::uint16_t> data;
+
+    BayerImage() = default;
+    BayerImage(int w, int h)
+        : width(w), height(h),
+          data(std::size_t(w) * std::size_t(h), 0)
+    {
+    }
+
+    std::uint16_t &
+    at(int x, int y)
+    {
+        return data[std::size_t(y) * std::size_t(width) + std::size_t(x)];
+    }
+
+    std::uint16_t
+    at(int x, int y) const
+    {
+        return data[std::size_t(y) * std::size_t(width) + std::size_t(x)];
+    }
+};
+
+/** Deterministic synthetic test scene: gradient background, bright
+ *  rectangle, and a dark disc — gives Canny clear edges and Harris
+ *  clear corners. Rendered directly as a Bayer mosaic. */
+BayerImage makeSyntheticScene(int width, int height, std::uint32_t seed);
+
+} // namespace relief
+
+#endif // RELIEF_KERNELS_IMAGE_HH

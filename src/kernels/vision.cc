@@ -1,0 +1,258 @@
+#include "kernels/vision.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "kernels/elemwise.hh"
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+namespace
+{
+
+/** Bilinear demosaic of an RGGB mosaic into full-resolution RGB. */
+RgbImage
+demosaic(const BayerImage &raw)
+{
+    RgbImage out(raw.width, raw.height);
+    auto sample = [&raw](int x, int y) {
+        x = std::clamp(x, 0, raw.width - 1);
+        y = std::clamp(y, 0, raw.height - 1);
+        return float(raw.at(x, y)) / 4095.0f;
+    };
+    auto is_red = [](int x, int y) { return y % 2 == 0 && x % 2 == 0; };
+    auto is_blue = [](int x, int y) { return y % 2 == 1 && x % 2 == 1; };
+
+    for (int y = 0; y < raw.height; ++y) {
+        for (int x = 0; x < raw.width; ++x) {
+            float r, g, b;
+            if (is_red(x, y)) {
+                r = sample(x, y);
+                g = (sample(x - 1, y) + sample(x + 1, y) +
+                     sample(x, y - 1) + sample(x, y + 1)) /
+                    4.0f;
+                b = (sample(x - 1, y - 1) + sample(x + 1, y - 1) +
+                     sample(x - 1, y + 1) + sample(x + 1, y + 1)) /
+                    4.0f;
+            } else if (is_blue(x, y)) {
+                b = sample(x, y);
+                g = (sample(x - 1, y) + sample(x + 1, y) +
+                     sample(x, y - 1) + sample(x, y + 1)) /
+                    4.0f;
+                r = (sample(x - 1, y - 1) + sample(x + 1, y - 1) +
+                     sample(x - 1, y + 1) + sample(x + 1, y + 1)) /
+                    4.0f;
+            } else {
+                g = sample(x, y);
+                if (y % 2 == 0) { // green on a red row
+                    r = (sample(x - 1, y) + sample(x + 1, y)) / 2.0f;
+                    b = (sample(x, y - 1) + sample(x, y + 1)) / 2.0f;
+                } else { // green on a blue row
+                    b = (sample(x - 1, y) + sample(x + 1, y)) / 2.0f;
+                    r = (sample(x, y - 1) + sample(x, y + 1)) / 2.0f;
+                }
+            }
+            out.r.at(x, y) = r;
+            out.g.at(x, y) = g;
+            out.b.at(x, y) = b;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+RgbImage
+isp(const BayerImage &raw, const IspParams &params)
+{
+    RgbImage rgb = demosaic(raw);
+    float inv_gamma = 1.0f / params.gamma;
+    for (int y = 0; y < rgb.height(); ++y) {
+        for (int x = 0; x < rgb.width(); ++x) {
+            float in[3] = {rgb.r.at(x, y), rgb.g.at(x, y), rgb.b.at(x, y)};
+            float out[3];
+            for (int c = 0; c < 3; ++c) {
+                float v = params.ccm[c][0] * in[0] +
+                          params.ccm[c][1] * in[1] +
+                          params.ccm[c][2] * in[2];
+                v = std::clamp(v, 0.0f, 1.0f);
+                out[c] = std::pow(v, inv_gamma);
+            }
+            rgb.r.at(x, y) = out[0];
+            rgb.g.at(x, y) = out[1];
+            rgb.b.at(x, y) = out[2];
+        }
+    }
+    return rgb;
+}
+
+Plane
+grayscale(const RgbImage &rgb)
+{
+    Plane out(rgb.width(), rgb.height());
+    for (int y = 0; y < rgb.height(); ++y) {
+        for (int x = 0; x < rgb.width(); ++x) {
+            out.at(x, y) = 0.299f * rgb.r.at(x, y) +
+                           0.587f * rgb.g.at(x, y) +
+                           0.114f * rgb.b.at(x, y);
+        }
+    }
+    return out;
+}
+
+Plane
+cannyNonMax(const Plane &magnitude, const Plane &direction)
+{
+    RELIEF_ASSERT(magnitude.sameShape(direction),
+                  "canny NMS: magnitude/direction shape mismatch");
+    Plane out(magnitude.width(), magnitude.height());
+    for (int y = 0; y < magnitude.height(); ++y) {
+        for (int x = 0; x < magnitude.width(); ++x) {
+            float angle = direction.at(x, y);
+            // Quantize to 0/45/90/135 degrees.
+            float deg = angle * 180.0f / float(M_PI);
+            if (deg < 0.0f)
+                deg += 180.0f;
+            int dx1, dy1;
+            if (deg < 22.5f || deg >= 157.5f) {
+                dx1 = 1;
+                dy1 = 0;
+            } else if (deg < 67.5f) {
+                dx1 = 1;
+                dy1 = 1;
+            } else if (deg < 112.5f) {
+                dx1 = 0;
+                dy1 = 1;
+            } else {
+                dx1 = -1;
+                dy1 = 1;
+            }
+            float m = magnitude.at(x, y);
+            float n1 = magnitude.clampedAt(x + dx1, y + dy1);
+            float n2 = magnitude.clampedAt(x - dx1, y - dy1);
+            out.at(x, y) = (m >= n1 && m >= n2) ? m : 0.0f;
+        }
+    }
+    return out;
+}
+
+Plane
+edgeTracking(const Plane &nms, float low_t, float high_t)
+{
+    RELIEF_ASSERT(low_t <= high_t,
+                  "edge tracking: low threshold above high threshold");
+    int w = nms.width(), h = nms.height();
+    Plane out(w, h);
+    std::queue<std::pair<int, int>> frontier;
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            if (nms.at(x, y) >= high_t) {
+                out.at(x, y) = 1.0f;
+                frontier.emplace(x, y);
+            }
+        }
+    }
+    // Grow strong edges through weak pixels (8-connected).
+    while (!frontier.empty()) {
+        auto [x, y] = frontier.front();
+        frontier.pop();
+        for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+                int nx = x + dx, ny = y + dy;
+                if (nx < 0 || nx >= w || ny < 0 || ny >= h)
+                    continue;
+                if (out.at(nx, ny) == 0.0f && nms.at(nx, ny) >= low_t) {
+                    out.at(nx, ny) = 1.0f;
+                    frontier.emplace(nx, ny);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Plane
+harrisNonMax(const Plane &response)
+{
+    Plane out(response.width(), response.height());
+    for (int y = 0; y < response.height(); ++y) {
+        for (int x = 0; x < response.width(); ++x) {
+            float v = response.at(x, y);
+            if (v <= 0.0f)
+                continue;
+            bool is_max = true;
+            for (int dy = -1; dy <= 1 && is_max; ++dy)
+                for (int dx = -1; dx <= 1; ++dx)
+                    if ((dx || dy) &&
+                        response.clampedAt(x + dx, y + dy) > v) {
+                        is_max = false;
+                        break;
+                    }
+            out.at(x, y) = is_max ? v : 0.0f;
+        }
+    }
+    return out;
+}
+
+Plane
+cannyReference(const BayerImage &raw, float low_t, float high_t)
+{
+    Plane gray = grayscale(isp(raw));
+    Plane smooth = convolve(gray, gaussianFilter(5));
+    Plane gx = convolve(smooth, sobelX());
+    Plane gy = convolve(smooth, sobelY());
+    Plane gx2 = elemwise(ElemOp::Sqr, gx);
+    Plane gy2 = elemwise(ElemOp::Sqr, gy);
+    Plane sum = elemwise(ElemOp::Add, gx2, &gy2);
+    Plane mag = elemwise(ElemOp::Sqrt, sum);
+    Plane dir = elemwise(ElemOp::Atan2, gy, &gx);
+    Plane nms = cannyNonMax(mag, dir);
+    Plane edges = edgeTracking(nms, low_t, high_t);
+    // Final elem-matrix boost stage of the DAG: scale the binary edge
+    // map to full intensity.
+    return elemwise(ElemOp::Scale, edges, nullptr, 1.0f);
+}
+
+Plane
+harrisReference(const BayerImage &raw, float k)
+{
+    Plane gray = grayscale(isp(raw));
+    Plane ix = convolve(gray, sobelX());
+    Plane iy = convolve(gray, sobelY());
+    Plane ixx = elemwise(ElemOp::Mul, ix, &ix);
+    Plane iyy = elemwise(ElemOp::Mul, iy, &iy);
+    Plane ixy = elemwise(ElemOp::Mul, ix, &iy);
+    Filter2D window = gaussianFilter(5);
+    Plane sxx = convolve(ixx, window);
+    Plane syy = convolve(iyy, window);
+    Plane sxy = convolve(ixy, window);
+    // R = det(M) - k * trace(M)^2
+    Plane det_a = elemwise(ElemOp::Mul, sxx, &syy);
+    Plane det_b = elemwise(ElemOp::Mul, sxy, &sxy);
+    Plane det = elemwise(ElemOp::Sub, det_a, &det_b);
+    Plane trace = elemwise(ElemOp::Add, sxx, &syy);
+    Plane trace2 = elemwise(ElemOp::Sqr, trace);
+    Plane ktrace2 = elemwise(ElemOp::Scale, trace2, nullptr, k);
+    Plane response = elemwise(ElemOp::Sub, det, &ktrace2);
+    return harrisNonMax(response);
+}
+
+Plane
+richardsonLucy(const Plane &blurred, const Filter2D &psf, int iterations)
+{
+    RELIEF_ASSERT(iterations >= 1, "RL deblur needs >= 1 iteration");
+    Plane estimate = blurred;
+    Filter2D mirrored = psf.flipped();
+    for (int it = 0; it < iterations; ++it) {
+        Plane reblurred = convolve(estimate, psf);
+        Plane ratio = elemwise(ElemOp::Div, blurred, &reblurred);
+        Plane correction = convolve(ratio, mirrored);
+        estimate = elemwise(ElemOp::Mul, estimate, &correction);
+    }
+    return estimate;
+}
+
+} // namespace relief

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Counters the hardware manager maintains while executing DAGs. These
+ * are the raw inputs to every figure in the paper's evaluation; the
+ * core facade combines them with memory/interconnect/accelerator stats
+ * into a MetricsReport.
+ */
+
+#ifndef RELIEF_MANAGER_RUN_METRICS_HH
+#define RELIEF_MANAGER_RUN_METRICS_HH
+
+#include <cstdint>
+
+#include "sim/ticks.hh"
+#include "stats/stats.hh"
+
+namespace relief
+{
+
+struct RunMetrics
+{
+    // --- Edge outcomes (Fig. 4) ---
+    std::uint64_t edgesConsumed = 0; ///< Parent edges satisfied.
+    std::uint64_t forwards = 0;      ///< Satisfied SPM-to-SPM.
+    std::uint64_t colocations = 0;   ///< Satisfied in place.
+    std::uint64_t dramEdges = 0;     ///< Satisfied from main memory.
+
+    // --- Traffic (Fig. 5) ---
+    std::uint64_t colocatedBytes = 0;  ///< Bytes never moved.
+    std::uint64_t baselineBytes = 0;   ///< All-DRAM reference volume.
+    std::uint64_t writebacksAvoided = 0;
+
+    // --- QoS (Figs. 8-10) ---
+    std::uint64_t nodesFinished = 0;
+    std::uint64_t nodeDeadlinesMet = 0;
+    std::uint64_t dagsFinished = 0;
+    std::uint64_t dagDeadlinesMet = 0;
+
+    // --- Manager overhead (Fig. 12) ---
+    Accum pushLatency;        ///< Modeled per-insert cost (ticks).
+    Tick managerBusyTime = 0; ///< Total modeled manager occupancy.
+
+    // --- Queueing behaviour ---
+    Accum queueWait;  ///< Ready -> launch time per node (ticks).
+    Accum queueDepth; ///< Ready-queue length sampled at each insert.
+
+    double
+    nodeDeadlineFraction() const
+    {
+        return nodesFinished
+                   ? double(nodeDeadlinesMet) / double(nodesFinished)
+                   : 0.0;
+    }
+
+    double
+    dagDeadlineFraction() const
+    {
+        return dagsFinished ? double(dagDeadlinesMet) / double(dagsFinished)
+                            : 0.0;
+    }
+
+    /** forwards+colocations as a fraction of @p total_edges. */
+    double
+    forwardFraction(std::uint64_t total_edges) const
+    {
+        return total_edges
+                   ? double(forwards + colocations) / double(total_edges)
+                   : 0.0;
+    }
+};
+
+} // namespace relief
+
+#endif // RELIEF_MANAGER_RUN_METRICS_HH

@@ -1,0 +1,79 @@
+#include "mem/bandwidth_resource.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+BandwidthResource::BandwidthResource(std::string name, double gbPerSec,
+                                     Tick fixedLatency)
+    : name_(std::move(name)), gbPerSec_(gbPerSec),
+      fixedLatency_(fixedLatency)
+{
+    RELIEF_ASSERT(gbPerSec > 0.0, "resource ", name_,
+                  " needs positive bandwidth");
+}
+
+Tick
+BandwidthResource::holdTime(std::uint64_t bytes) const
+{
+    return fixedLatency_ + transferTime(bytes, gbPerSec_);
+}
+
+Tick
+BandwidthResource::claim(Tick earliest, std::uint64_t bytes)
+{
+    Tick start = std::max(earliest, nextFree_);
+    Tick end = start + holdTime(bytes);
+    nextFree_ = end;
+    busy_.add(start, end);
+    totalBytes_.add(bytes);
+    numTransfers_.add(1);
+    return start;
+}
+
+double
+BandwidthResource::occupancy(Tick upTo) const
+{
+    if (upTo == 0)
+        return 0.0;
+    return double(busyTime(upTo)) / double(upTo);
+}
+
+void
+BandwidthResource::resetStats()
+{
+    totalBytes_.reset();
+    numTransfers_.reset();
+    busy_.clear();
+}
+
+TransferTiming
+reserveTransfer(const std::vector<BandwidthResource *> &path, Tick now,
+                std::uint64_t bytes)
+{
+    RELIEF_ASSERT(!path.empty(), "transfer over an empty resource path");
+
+    Tick start = now;
+    Tick latencySum = 0;
+    double minBw = path.front()->bandwidth();
+    for (const auto *res : path) {
+        start = std::max(start, res->nextFree());
+        latencySum += res->fixedLatency();
+        minBw = std::min(minBw, res->bandwidth());
+    }
+    // Claim each resource from the common start so FIFO order is
+    // preserved across the chain.
+    for (auto *res : path)
+        res->claim(start, bytes);
+
+    TransferTiming timing;
+    timing.start = start;
+    timing.end = start + latencySum + transferTime(bytes, minBw);
+    return timing;
+}
+
+} // namespace relief

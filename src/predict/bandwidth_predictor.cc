@@ -1,0 +1,67 @@
+#include "predict/bandwidth_predictor.hh"
+
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+const char *
+bwPredictorName(BwPredictorKind kind)
+{
+    switch (kind) {
+      case BwPredictorKind::Max:
+        return "Max";
+      case BwPredictorKind::Last:
+        return "Last";
+      case BwPredictorKind::Average:
+        return "Average";
+      case BwPredictorKind::Ewma:
+        return "EWMA";
+    }
+    return "unknown";
+}
+
+BandwidthPredictor::BandwidthPredictor(BwPredictorKind kind, double max_gbs,
+                                       int window, double alpha)
+    : kind_(kind), maxGBs_(max_gbs), window_(window), alpha_(alpha),
+      last_(max_gbs), ewma_(max_gbs)
+{
+    RELIEF_ASSERT(max_gbs > 0.0, "bandwidth predictor needs positive max");
+    RELIEF_ASSERT(window >= 1, "average window must be >= 1");
+    RELIEF_ASSERT(alpha > 0.0 && alpha <= 1.0, "EWMA alpha out of (0, 1]");
+}
+
+void
+BandwidthPredictor::observe(double achieved_gbs)
+{
+    if (achieved_gbs <= 0.0)
+        return;
+    ++numObs_;
+    last_ = achieved_gbs;
+    ewma_ = alpha_ * achieved_gbs + (1.0 - alpha_) * ewma_;
+    history_.push_back(achieved_gbs);
+    windowSum_ += achieved_gbs;
+    if (int(history_.size()) > window_) {
+        windowSum_ -= history_.front();
+        history_.pop_front();
+    }
+}
+
+double
+BandwidthPredictor::predict() const
+{
+    switch (kind_) {
+      case BwPredictorKind::Max:
+        return maxGBs_;
+      case BwPredictorKind::Last:
+        return last_;
+      case BwPredictorKind::Average:
+        return history_.empty() ? maxGBs_
+                                : windowSum_ / double(history_.size());
+      case BwPredictorKind::Ewma:
+        return ewma_;
+    }
+    return maxGBs_;
+}
+
+} // namespace relief

@@ -1,0 +1,73 @@
+#include "sched/baseline_policies.hh"
+
+namespace relief
+{
+
+void
+FcfsPolicy::onNodesReady(const std::vector<Node *> &ready,
+                         const SchedContext &, ReadyQueues &queues)
+{
+    for (Node *node : ready)
+        queues[accIndex(node->params.type)].pushBack(node);
+}
+
+Tick
+FcfsPolicy::pushCost(std::size_t) const
+{
+    // Tail append: no scan.
+    return fromNs(110.0);
+}
+
+void
+GedfPolicy::onNodesReady(const std::vector<Node *> &ready,
+                         const SchedContext &, ReadyQueues &queues)
+{
+    for (Node *node : ready) {
+        auto &q = queues[accIndex(node->params.type)];
+        q.insertAt(q.findDeadlinePos(node), node);
+    }
+}
+
+void
+LeastLaxityPolicy::onNodesReady(const std::vector<Node *> &ready,
+                                const SchedContext &, ReadyQueues &queues)
+{
+    for (Node *node : ready) {
+        auto &q = queues[accIndex(node->params.type)];
+        q.insertAt(q.findLaxityPos(node), node);
+    }
+}
+
+std::size_t
+laxDispatchIndex(const ReadyQueue &queue, Tick now)
+{
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        STick laxity = queue.at(i)->laxityKey - STick(now);
+        if (laxity >= 0)
+            return i;
+    }
+    return 0;
+}
+
+Node *
+LeastLaxityPolicy::selectNext(AccType type, ReadyQueues &queues, Tick now)
+{
+    auto &q = queues[accIndex(type)];
+    if (q.empty())
+        return nullptr;
+    if (!deprioritizeNegative_)
+        return q.popFront();
+    return q.popAt(laxDispatchIndex(q, now));
+}
+
+Tick
+LeastLaxityPolicy::pushCost(std::size_t queue_len) const
+{
+    // Laxity computation + sorted scan; HetSched's SDR deadlines add a
+    // little arithmetic per push.
+    Tick base = scheme_ == DeadlineScheme::Sdr ? fromNs(220.0)
+                                               : fromNs(180.0);
+    return base + fromNs(8.0) * Tick(queue_len);
+}
+
+} // namespace relief

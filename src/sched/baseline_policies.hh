@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The five baseline policies the paper compares RELIEF against
+ * (Section II-C): FCFS, GEDF-D, GEDF-N, LL, LAX, and HetSched.
+ */
+
+#ifndef RELIEF_SCHED_BASELINE_POLICIES_HH
+#define RELIEF_SCHED_BASELINE_POLICIES_HH
+
+#include "sched/policy.hh"
+
+namespace relief
+{
+
+/** First come, first served: append to the tail. */
+class FcfsPolicy : public Policy
+{
+  public:
+    PolicyKind kind() const override { return PolicyKind::Fcfs; }
+    DeadlineScheme deadlineScheme() const override
+    {
+        return DeadlineScheme::CriticalPath; // Deadlines only scored.
+    }
+    void onNodesReady(const std::vector<Node *> &ready,
+                      const SchedContext &ctx,
+                      ReadyQueues &queues) override;
+    Tick pushCost(std::size_t queue_len) const override;
+};
+
+/** Global EDF over a configurable deadline scheme (GEDF-D / GEDF-N). */
+class GedfPolicy : public Policy
+{
+  public:
+    /** @param per_node true = GEDF-N (critical-path deadlines),
+     *                  false = GEDF-D (DAG deadline). */
+    explicit GedfPolicy(bool per_node) : perNode_(per_node) {}
+
+    PolicyKind kind() const override
+    {
+        return perNode_ ? PolicyKind::GedfN : PolicyKind::GedfD;
+    }
+    DeadlineScheme deadlineScheme() const override
+    {
+        return perNode_ ? DeadlineScheme::CriticalPath
+                        : DeadlineScheme::DagDeadline;
+    }
+    void onNodesReady(const std::vector<Node *> &ready,
+                      const SchedContext &ctx,
+                      ReadyQueues &queues) override;
+
+  private:
+    bool perNode_;
+};
+
+/**
+ * Least laxity first. @p scheme distinguishes vanilla LL/LAX
+ * (critical-path deadlines) from HetSched (SDR sub-deadlines);
+ * @p deprioritize_negative enables LAX's bypass of negative-laxity
+ * nodes at dispatch time.
+ */
+class LeastLaxityPolicy : public Policy
+{
+  public:
+    LeastLaxityPolicy(PolicyKind kind, DeadlineScheme scheme,
+                      bool deprioritize_negative)
+        : kind_(kind), scheme_(scheme),
+          deprioritizeNegative_(deprioritize_negative)
+    {
+    }
+
+    PolicyKind kind() const override { return kind_; }
+    DeadlineScheme deadlineScheme() const override { return scheme_; }
+    void onNodesReady(const std::vector<Node *> &ready,
+                      const SchedContext &ctx,
+                      ReadyQueues &queues) override;
+    Node *selectNext(AccType type, ReadyQueues &queues, Tick now) override;
+    Tick pushCost(std::size_t queue_len) const override;
+
+  private:
+    PolicyKind kind_;
+    DeadlineScheme scheme_;
+    bool deprioritizeNegative_;
+};
+
+/**
+ * Dispatch helper shared by LAX and RELIEF-LAX: index of the first
+ * node whose current laxity is non-negative; 0 if every node is
+ * already late.
+ */
+std::size_t laxDispatchIndex(const ReadyQueue &queue, Tick now);
+
+} // namespace relief
+
+#endif // RELIEF_SCHED_BASELINE_POLICIES_HH

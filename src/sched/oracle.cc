@@ -1,0 +1,315 @@
+#include "sched/oracle.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+namespace
+{
+
+/** Flattened problem description. */
+struct Problem
+{
+    std::vector<const Node *> nodes;
+    std::vector<Tick> runtime;
+    std::vector<std::vector<int>> parents;  ///< Indices into nodes.
+    std::vector<std::vector<int>> children;
+    std::vector<int> dagOf;
+    std::vector<Tick> dagDeadline; ///< Per DAG, absolute (arrival 0).
+    std::vector<int> instType;     ///< Per instance, accIndex.
+    int numNodes = 0;
+    int numInstances = 0;
+    int numDags = 0;
+    int totalEdges = 0;
+};
+
+/** Mutable search state (copied per branch; sizes are tiny). */
+struct State
+{
+    std::vector<Tick> finish;      ///< Per node; 0 sentinel via done[].
+    std::vector<Tick> start;
+    std::vector<bool> done;
+    std::vector<int> assignedInst; ///< Per node.
+    std::vector<Tick> instFree;    ///< Per instance.
+    std::vector<int> instLast;     ///< Last node run (-1 none).
+    /** Per instance: launch sequence (node indices, in order). */
+    std::vector<std::vector<int>> instSeq;
+    int scheduled = 0;
+};
+
+/** Score of a complete schedule, lexicographically comparable. */
+struct Score
+{
+    int dagsMet = 0;
+    int realized = 0;
+    STick negMakespan = 0;
+
+    bool
+    operator>(const Score &other) const
+    {
+        if (dagsMet != other.dagsMet)
+            return dagsMet > other.dagsMet;
+        if (realized != other.realized)
+            return realized > other.realized;
+        return negMakespan > other.negMakespan;
+    }
+};
+
+class Search
+{
+  public:
+    Search(Problem problem, const OracleLimits &limits)
+        : p_(std::move(problem)), limits_(limits)
+    {
+        best_.dagsMet = -1;
+    }
+
+    OracleResult
+    run()
+    {
+        State state;
+        state.finish.assign(std::size_t(p_.numNodes), 0);
+        state.start.assign(std::size_t(p_.numNodes), 0);
+        state.done.assign(std::size_t(p_.numNodes), false);
+        state.assignedInst.assign(std::size_t(p_.numNodes), -1);
+        state.instFree.assign(std::size_t(p_.numInstances), 0);
+        state.instLast.assign(std::size_t(p_.numInstances), -1);
+        state.instSeq.resize(std::size_t(p_.numInstances));
+        dfs(state);
+
+        OracleResult result;
+        result.dagCount = p_.numDags;
+        result.exhaustive = states_ < limits_.maxStates;
+        result.statesExplored = states_;
+        if (best_.dagsMet < 0)
+            return result; // Nothing explored (empty problem).
+        result.dagDeadlinesMet = best_.dagsMet;
+        result.makespan = Tick(-best_.negMakespan);
+        fillSchedule(result);
+        return result;
+    }
+
+  private:
+    /** Was edge parent -> child realized, and was it a colocation? */
+    std::pair<bool, bool>
+    edgeRealized(const State &state, int parent, int child) const
+    {
+        int inst = state.assignedInst[std::size_t(parent)];
+        const auto &seq = state.instSeq[std::size_t(inst)];
+        auto it = std::find(seq.begin(), seq.end(), parent);
+        RELIEF_ASSERT(it != seq.end(), "oracle: parent not in sequence");
+        std::size_t pos = std::size_t(it - seq.begin());
+
+        if (state.assignedInst[std::size_t(child)] == inst) {
+            // Colocation: the consumer directly follows the producer.
+            bool direct = pos + 1 < seq.size() &&
+                          seq[pos + 1] == child;
+            return {direct, direct};
+        }
+        // Forward: the producer's data survives double buffering — at
+        // most one later task may have *started* on the producer's
+        // instance before the consumer begins reading.
+        Tick child_start = state.start[std::size_t(child)];
+        int later_started = 0;
+        for (std::size_t i = pos + 1; i < seq.size(); ++i) {
+            if (state.start[std::size_t(seq[i])] < child_start)
+                ++later_started;
+        }
+        bool live = state.start[std::size_t(child)] >=
+                        state.finish[std::size_t(parent)] &&
+                    later_started <= 1;
+        return {live, false};
+    }
+
+    Score
+    evaluate(const State &state) const
+    {
+        Score score;
+        std::vector<Tick> dag_finish(std::size_t(p_.numDags), 0);
+        Tick makespan = 0;
+        for (int i = 0; i < p_.numNodes; ++i) {
+            Tick f = state.finish[std::size_t(i)];
+            makespan = std::max(makespan, f);
+            auto dag = std::size_t(p_.dagOf[std::size_t(i)]);
+            dag_finish[dag] = std::max(dag_finish[dag], f);
+            for (int parent : p_.parents[std::size_t(i)]) {
+                auto [realized, coloc] = edgeRealized(state, parent, i);
+                score.realized += realized;
+                (void)coloc;
+            }
+        }
+        for (int d = 0; d < p_.numDags; ++d) {
+            score.dagsMet += dag_finish[std::size_t(d)] <=
+                             p_.dagDeadline[std::size_t(d)];
+        }
+        score.negMakespan = -STick(makespan);
+        return score;
+    }
+
+    void
+    dfs(State &state)
+    {
+        if (states_ >= limits_.maxStates)
+            return;
+        ++states_;
+
+        if (state.scheduled == p_.numNodes) {
+            Score score = evaluate(state);
+            if (score > best_) {
+                best_ = score;
+                bestState_ = state;
+            }
+            return;
+        }
+
+        // Optimistic bound: every unrealized edge realizes, every DAG
+        // meets its deadline. (Realized edges of finished consumers
+        // are fixed; unfinished ones count as potential.)
+        // A cheap over-approximation: total edges as the cap.
+        if (best_.dagsMet == p_.numDags &&
+            best_.realized == p_.totalEdges) {
+            // Best is already perfect on the first two criteria; only
+            // makespan can improve. Keep searching (cheap problems) —
+            // the state cap still bounds us.
+        }
+
+        // Assignable nodes: all parents scheduled.
+        for (int i = 0; i < p_.numNodes; ++i) {
+            if (state.done[std::size_t(i)])
+                continue;
+            bool ready = true;
+            Tick ready_at = 0;
+            for (int parent : p_.parents[std::size_t(i)]) {
+                if (!state.done[std::size_t(parent)]) {
+                    ready = false;
+                    break;
+                }
+                ready_at = std::max(ready_at,
+                                    state.finish[std::size_t(parent)]);
+            }
+            if (!ready)
+                continue;
+
+            // Deduplicate symmetric instances: identical (free, last)
+            // pairs of the right type behave identically.
+            std::map<std::pair<Tick, int>, bool> seen;
+            for (int k = 0; k < p_.numInstances; ++k) {
+                if (p_.instType[std::size_t(k)] !=
+                    int(accIndex(p_.nodes[std::size_t(i)]->params.type)))
+                    continue;
+                auto key = std::make_pair(state.instFree[std::size_t(k)],
+                                          state.instLast[std::size_t(k)]);
+                if (seen.emplace(key, true).second == false)
+                    continue;
+
+                // Apply assignment i -> k.
+                State next = state;
+                Tick start = std::max(ready_at,
+                                      state.instFree[std::size_t(k)]);
+                Tick finish = start + p_.runtime[std::size_t(i)];
+                next.start[std::size_t(i)] = start;
+                next.finish[std::size_t(i)] = finish;
+                next.done[std::size_t(i)] = true;
+                next.assignedInst[std::size_t(i)] = k;
+                next.instFree[std::size_t(k)] = finish;
+                next.instLast[std::size_t(k)] = i;
+                next.instSeq[std::size_t(k)].push_back(i);
+                ++next.scheduled;
+                dfs(next);
+                if (states_ >= limits_.maxStates)
+                    return;
+            }
+        }
+    }
+
+    void
+    fillSchedule(OracleResult &result) const
+    {
+        for (int i = 0; i < p_.numNodes; ++i) {
+            OracleEntry entry;
+            entry.node = p_.nodes[std::size_t(i)];
+            entry.instance = bestState_.assignedInst[std::size_t(i)];
+            entry.start = bestState_.start[std::size_t(i)];
+            entry.finish = bestState_.finish[std::size_t(i)];
+            for (int parent : p_.parents[std::size_t(i)]) {
+                auto [realized, coloc] =
+                    edgeRealized(bestState_, parent, i);
+                if (realized && coloc) {
+                    ++result.colocations;
+                    entry.colocated = true;
+                } else if (realized) {
+                    ++result.forwards;
+                    entry.forwarded = true;
+                }
+            }
+            result.schedule.push_back(entry);
+        }
+        std::sort(result.schedule.begin(), result.schedule.end(),
+                  [](const OracleEntry &a, const OracleEntry &b) {
+                      return a.start < b.start;
+                  });
+    }
+
+    Problem p_;
+    OracleLimits limits_;
+    std::uint64_t states_ = 0;
+    Score best_;
+    State bestState_;
+};
+
+} // namespace
+
+OracleResult
+findIdealSchedule(
+    const std::vector<Dag *> &dags,
+    const std::array<int, std::size_t(numAccTypes)> &instances,
+    const OracleLimits &limits)
+{
+    Problem problem;
+    std::map<const Node *, int> index;
+    int dag_id = 0;
+    for (Dag *dag : dags) {
+        RELIEF_ASSERT(dag && dag->finalized(),
+                      "oracle needs finalized DAGs");
+        for (Node *node : dag->allNodes()) {
+            index[node] = problem.numNodes++;
+            problem.nodes.push_back(node);
+            problem.runtime.push_back(nominalNodeRuntime(*node));
+            problem.dagOf.push_back(dag_id);
+        }
+        problem.dagDeadline.push_back(dag->relativeDeadline());
+        ++dag_id;
+    }
+    problem.numDags = dag_id;
+    problem.parents.resize(std::size_t(problem.numNodes));
+    problem.children.resize(std::size_t(problem.numNodes));
+    for (Dag *dag : dags) {
+        for (Node *node : dag->allNodes()) {
+            int i = index[node];
+            for (Node *parent : node->parents) {
+                problem.parents[std::size_t(i)].push_back(index[parent]);
+                problem.children[std::size_t(index[parent])].push_back(i);
+                ++problem.totalEdges;
+            }
+        }
+    }
+    for (AccType type : allAccTypes) {
+        for (int k = 0; k < instances[accIndex(type)]; ++k) {
+            problem.instType.push_back(int(accIndex(type)));
+            ++problem.numInstances;
+        }
+    }
+
+    RELIEF_ASSERT(problem.numNodes <= 24,
+                  "oracle search is exponential; refusing ",
+                  problem.numNodes, " nodes (max 24)");
+
+    Search search(std::move(problem), limits);
+    return search.run();
+}
+
+} // namespace relief

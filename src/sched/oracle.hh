@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Exhaustive "ideal schedule" search (the paper's Fig. 2b oracle).
+ *
+ * For small DAG sets, enumerate every non-preemptive schedule —
+ * including deliberate idling, which the ideal schedule in Fig. 2 uses
+ * to hold an accelerator for a forwarding consumer — and return the
+ * one that (1) meets the most DAG deadlines, (2) realizes the most
+ * forwards + colocations, and (3) has the shortest makespan, in that
+ * lexicographic order.
+ *
+ * The abstraction matches the paper's motivating example: node
+ * runtimes are the nominal/fixed runtimes, data movement takes no
+ * time, an edge is *realized* when its consumer launches exactly when
+ * its last parent finishes (the producer's output is still live), and
+ * it is a *colocation* when the consumer additionally runs on the same
+ * accelerator instance directly after the producer.
+ *
+ * This is exponential by design; `OracleLimits::maxStates` bounds the
+ * search and the result reports whether it was exhaustive.
+ */
+
+#ifndef RELIEF_SCHED_ORACLE_HH
+#define RELIEF_SCHED_ORACLE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/dag.hh"
+
+namespace relief
+{
+
+/** Search budget. */
+struct OracleLimits
+{
+    std::uint64_t maxStates = 2'000'000; ///< Decision nodes to explore.
+};
+
+/** One scheduled task in the oracle's best schedule. */
+struct OracleEntry
+{
+    const Node *node = nullptr;
+    int instance = 0;   ///< Global accelerator-instance index.
+    Tick start = 0;
+    Tick finish = 0;
+    bool forwarded = false; ///< Realized at least one input edge.
+    bool colocated = false; ///< Ran in place after a parent.
+};
+
+/** Outcome of the search. */
+struct OracleResult
+{
+    int forwards = 0;      ///< Realized cross-instance edges.
+    int colocations = 0;   ///< Realized same-instance edges.
+    int dagDeadlinesMet = 0;
+    int dagCount = 0;
+    Tick makespan = 0;
+    bool exhaustive = true; ///< False if maxStates was hit.
+    std::uint64_t statesExplored = 0;
+    std::vector<OracleEntry> schedule;
+
+    int totalRealized() const { return forwards + colocations; }
+};
+
+/**
+ * Search for the ideal schedule of @p dags (all arriving at tick 0) on
+ * a platform with @p instances accelerators per type. Every DAG must
+ * be finalized; node runtimes use nominalNodeRuntime().
+ */
+OracleResult findIdealSchedule(
+    const std::vector<Dag *> &dags,
+    const std::array<int, std::size_t(numAccTypes)> &instances,
+    const OracleLimits &limits = {});
+
+} // namespace relief
+
+#endif // RELIEF_SCHED_ORACLE_HH

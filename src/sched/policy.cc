@@ -1,0 +1,58 @@
+#include "sched/policy.hh"
+
+namespace relief
+{
+
+const std::vector<PolicyKind> allPolicies = {
+    PolicyKind::Fcfs,      PolicyKind::GedfD, PolicyKind::GedfN,
+    PolicyKind::LL,        PolicyKind::Lax,   PolicyKind::HetSched,
+    PolicyKind::ReliefLax, PolicyKind::Relief,
+};
+
+const std::vector<PolicyKind> mainPolicies = {
+    PolicyKind::Fcfs, PolicyKind::GedfD,    PolicyKind::GedfN,
+    PolicyKind::Lax,  PolicyKind::HetSched, PolicyKind::Relief,
+};
+
+const char *
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Fcfs:
+        return "FCFS";
+      case PolicyKind::GedfD:
+        return "GEDF-D";
+      case PolicyKind::GedfN:
+        return "GEDF-N";
+      case PolicyKind::LL:
+        return "LL";
+      case PolicyKind::Lax:
+        return "LAX";
+      case PolicyKind::HetSched:
+        return "HetSched";
+      case PolicyKind::ReliefLax:
+        return "RELIEF-LAX";
+      case PolicyKind::Relief:
+        return "RELIEF";
+      case PolicyKind::ReliefHetSched:
+        return "RELIEF-HS";
+    }
+    return "unknown";
+}
+
+Node *
+Policy::selectNext(AccType type, ReadyQueues &queues, Tick)
+{
+    auto &q = queues[accIndex(type)];
+    return q.empty() ? nullptr : q.popFront();
+}
+
+Tick
+Policy::pushCost(std::size_t queue_len) const
+{
+    // Default sorted-insert cost on a Cortex-A7 class core: constant
+    // overhead plus a linear scan term.
+    return fromNs(150.0) + fromNs(6.0) * Tick(queue_len);
+}
+
+} // namespace relief

@@ -1,0 +1,46 @@
+#include "sched/ready_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+void
+ReadyQueue::insertAt(std::size_t index, Node *node)
+{
+    RELIEF_ASSERT(node != nullptr, "inserting null node");
+    RELIEF_ASSERT(index <= nodes_.size(), "ready-queue insert out of "
+                  "range: ", index, " > ", nodes_.size());
+    nodes_.insert(nodes_.begin() + long(index), node);
+}
+
+Node *
+ReadyQueue::popAt(std::size_t index)
+{
+    RELIEF_ASSERT(index < nodes_.size(), "ready-queue pop out of range");
+    Node *node = nodes_[index];
+    nodes_.erase(nodes_.begin() + long(index));
+    return node;
+}
+
+std::size_t
+ReadyQueue::findLaxityPos(const Node *node) const
+{
+    std::size_t i = 0;
+    while (i < nodes_.size() && nodes_[i]->isFwd)
+        ++i;
+    while (i < nodes_.size() && nodes_[i]->laxityKey <= node->laxityKey)
+        ++i;
+    return i;
+}
+
+std::size_t
+ReadyQueue::findDeadlinePos(const Node *node) const
+{
+    std::size_t i = 0;
+    while (i < nodes_.size() && nodes_[i]->deadline <= node->deadline)
+        ++i;
+    return i;
+}
+
+} // namespace relief

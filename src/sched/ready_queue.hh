@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-accelerator-type ready queue.
+ *
+ * Every policy maintains one sorted queue per accelerator type (paper
+ * Section II-B: the manager performs sorted insertion into the
+ * accelerator's ready queue). The queue itself is policy-agnostic; it
+ * offers positional primitives plus the two sorted-position searches
+ * policies need (by laxity key and by absolute deadline). Queues are
+ * short (tens of nodes), so a vector is the right structure.
+ */
+
+#ifndef RELIEF_SCHED_READY_QUEUE_HH
+#define RELIEF_SCHED_READY_QUEUE_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "acc/acc_types.hh"
+#include "dag/node.hh"
+
+namespace relief
+{
+
+class ReadyQueue
+{
+  public:
+    bool empty() const { return nodes_.empty(); }
+    std::size_t size() const { return nodes_.size(); }
+
+    Node *at(std::size_t index) const { return nodes_[index]; }
+    const std::vector<Node *> &nodes() const { return nodes_; }
+
+    void insertAt(std::size_t index, Node *node);
+    void pushFront(Node *node) { insertAt(0, node); }
+    void pushBack(Node *node) { insertAt(nodes_.size(), node); }
+
+    Node *popFront() { return popAt(0); }
+    Node *popAt(std::size_t index);
+
+    /**
+     * Sorted-insert position by laxity key (ascending, FIFO among
+     * equals). The leading run of promoted forwarding nodes is never
+     * displaced: the search starts after it.
+     */
+    std::size_t findLaxityPos(const Node *node) const;
+
+    /** Sorted-insert position by absolute deadline (ascending, FIFO
+     *  among equals). */
+    std::size_t findDeadlinePos(const Node *node) const;
+
+  private:
+    std::vector<Node *> nodes_;
+};
+
+/** One ready queue per accelerator type. */
+using ReadyQueues = std::array<ReadyQueue, std::size_t(numAccTypes)>;
+
+} // namespace relief
+
+#endif // RELIEF_SCHED_READY_QUEUE_HH

@@ -1,0 +1,64 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+EventHandle
+EventQueue::schedule(Tick when, std::function<void()> action,
+                     std::string label)
+{
+    if (when < curTick_) {
+        panic("scheduling event '", label, "' at tick ", when,
+              " in the past (now ", curTick_, ")");
+    }
+    auto state = std::make_shared<EventHandle::State>();
+    state->action = std::move(action);
+    state->label = std::move(label);
+    heap_.push(Entry{when, nextSeq_++, state});
+    ++numScheduled_;
+    return EventHandle(state);
+}
+
+void
+EventQueue::skipCancelled() const
+{
+    while (!heap_.empty() && heap_.top().state->cancelled)
+        heap_.pop();
+}
+
+bool
+EventQueue::empty() const
+{
+    skipCancelled();
+    return heap_.empty();
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    skipCancelled();
+    return heap_.empty() ? maxTick : heap_.top().when;
+}
+
+bool
+EventQueue::runOne()
+{
+    skipCancelled();
+    if (heap_.empty())
+        return false;
+
+    Entry entry = heap_.top();
+    heap_.pop();
+    RELIEF_ASSERT(entry.when >= curTick_, "event time went backwards");
+    curTick_ = entry.when;
+    entry.state->fired = true;
+    ++numExecuted_;
+    entry.state->action();
+    return true;
+}
+
+} // namespace relief

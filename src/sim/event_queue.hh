@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Discrete-event queue.
+ *
+ * Events are closures scheduled at an absolute tick. Two events at the
+ * same tick fire in the order they were scheduled (a monotonically
+ * increasing sequence number breaks ties), which keeps every simulation
+ * fully deterministic. Cancellation is lazy: a cancelled event stays in
+ * the heap but is skipped when popped.
+ */
+
+#ifndef RELIEF_SIM_EVENT_QUEUE_HH
+#define RELIEF_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace relief
+{
+
+/**
+ * Handle to a scheduled event, usable to cancel it or query whether it
+ * has fired. Copies share state.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** True if the event is still waiting to fire. */
+    bool pending() const { return state_ && !state_->cancelled && !state_->fired; }
+
+    /** Prevent the event from firing; no-op if already fired/cancelled. */
+    void
+    cancel()
+    {
+        if (state_)
+            state_->cancelled = true;
+    }
+
+  private:
+    friend class EventQueue;
+
+    struct State
+    {
+        std::function<void()> action;
+        std::string label;
+        bool cancelled = false;
+        bool fired = false;
+    };
+
+    explicit EventHandle(std::shared_ptr<State> state)
+        : state_(std::move(state))
+    {
+    }
+
+    std::shared_ptr<State> state_;
+};
+
+/**
+ * Min-heap of events ordered by (tick, sequence number).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Schedule @p action to fire at absolute tick @p when.
+     *
+     * @param when   Absolute firing time; must be >= the current tick.
+     * @param action Closure invoked when the event fires.
+     * @param label  Debug name (kept for diagnostics).
+     * @return handle usable to cancel the event.
+     */
+    EventHandle schedule(Tick when, std::function<void()> action,
+                         std::string label = {});
+
+    /** Absolute time of the event most recently popped (current time). */
+    Tick curTick() const { return curTick_; }
+
+    /** True if no pending (non-cancelled) events remain. */
+    bool empty() const;
+
+    /** Tick of the earliest pending event; maxTick if none. */
+    Tick nextTick() const;
+
+    /**
+     * Pop and run the earliest pending event, advancing current time.
+     * @return false if the queue was empty.
+     */
+    bool runOne();
+
+    /** Number of events executed so far. */
+    std::uint64_t numExecuted() const { return numExecuted_; }
+
+    /** Number of events scheduled so far. */
+    std::uint64_t numScheduled() const { return numScheduled_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::shared_ptr<EventHandle::State> state;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+        }
+    };
+
+    /** Drop cancelled events from the top of the heap. */
+    void skipCancelled() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t numExecuted_ = 0;
+    std::uint64_t numScheduled_ = 0;
+};
+
+} // namespace relief
+
+#endif // RELIEF_SIM_EVENT_QUEUE_HH

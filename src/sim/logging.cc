@@ -1,0 +1,32 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+
+namespace relief
+{
+
+namespace
+{
+bool informEnabled = true;
+} // namespace
+
+void
+setInformEnabled(bool enabled)
+{
+    informEnabled = enabled;
+}
+
+namespace detail
+{
+
+void
+logLine(const char *level, const std::string &msg)
+{
+    if (level == std::string("info") && !informEnabled)
+        return;
+    std::fprintf(stderr, "%s: %s\n", level, msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace relief

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Error-reporting and trace helpers, in the spirit of gem5's logging.hh.
+ *
+ * panic() is for internal invariant violations (simulator bugs); fatal()
+ * is for user errors (bad configuration). Both throw rather than abort so
+ * that unit tests can assert on them. warn()/inform() print to stderr.
+ */
+
+#ifndef RELIEF_SIM_LOGGING_HH
+#define RELIEF_SIM_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace relief
+{
+
+/** Thrown by panic(): an internal simulator invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): the user asked for something unsatisfiable. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail
+{
+
+void logLine(const char *level, const std::string &msg);
+
+inline void
+format(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+format(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    format(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    format(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort the simulation: internal invariant violated. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    auto msg = detail::concat(args...);
+    detail::logLine("panic", msg);
+    throw PanicError(msg);
+}
+
+/** Abort the simulation: unusable user configuration or input. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    auto msg = detail::concat(args...);
+    detail::logLine("fatal", msg);
+    throw FatalError(msg);
+}
+
+/** Report suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    detail::logLine("warn", detail::concat(args...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    detail::logLine("info", detail::concat(args...));
+}
+
+/** Enable/disable inform() output globally (benches keep it quiet). */
+void setInformEnabled(bool enabled);
+
+/** panic() unless @p cond holds. */
+#define RELIEF_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::relief::panic("assertion failed: " #cond " ", __VA_ARGS__);   \
+        }                                                                   \
+    } while (0)
+
+} // namespace relief
+
+#endif // RELIEF_SIM_LOGGING_HH

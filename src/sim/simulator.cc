@@ -1,0 +1,17 @@
+#include "sim/simulator.hh"
+
+namespace relief
+{
+
+Tick
+Simulator::run(Tick limit)
+{
+    stopRequested_ = false;
+    while (!stopRequested_ && !events_.empty() &&
+           events_.nextTick() <= limit) {
+        events_.runOne();
+    }
+    return now();
+}
+
+} // namespace relief

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Simulation time base.
+ *
+ * The simulator counts time in integer picoseconds. One picosecond
+ * resolution comfortably expresses every clock in the modeled SoC
+ * (1 GHz accelerators, 1.6 GHz manager, LPDDR5 tCK = 1.25 ns) without
+ * rounding, and a 64-bit tick counter spans ~200 days of simulated time.
+ */
+
+#ifndef RELIEF_SIM_TICKS_HH
+#define RELIEF_SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace relief
+{
+
+/** Simulated time, in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Signed tick arithmetic result (laxities can be negative). */
+using STick = std::int64_t;
+
+/** Globally unique task-node identifier (0 = none). */
+using NodeId = std::uint64_t;
+
+/** A tick value that no event ever reaches. */
+constexpr Tick maxTick = ~Tick(0);
+
+constexpr Tick tickPerPs = 1;
+constexpr Tick tickPerNs = 1000;
+constexpr Tick tickPerUs = 1000 * 1000;
+constexpr Tick tickPerMs = Tick(1000) * 1000 * 1000;
+constexpr Tick tickPerSec = Tick(1000) * 1000 * 1000 * 1000;
+
+/** Convert a duration in nanoseconds to ticks (rounding to nearest). */
+constexpr Tick
+fromNs(double nanoseconds)
+{
+    return Tick(nanoseconds * double(tickPerNs) + 0.5);
+}
+
+/** Convert a duration in microseconds to ticks (rounding to nearest). */
+constexpr Tick
+fromUs(double microseconds)
+{
+    return Tick(microseconds * double(tickPerUs) + 0.5);
+}
+
+/** Convert a duration in milliseconds to ticks (rounding to nearest). */
+constexpr Tick
+fromMs(double milliseconds)
+{
+    return Tick(milliseconds * double(tickPerMs) + 0.5);
+}
+
+/** Convert ticks to (fractional) nanoseconds. */
+constexpr double
+toNs(Tick t)
+{
+    return double(t) / double(tickPerNs);
+}
+
+/** Convert ticks to (fractional) microseconds. */
+constexpr double
+toUs(Tick t)
+{
+    return double(t) / double(tickPerUs);
+}
+
+/** Convert ticks to (fractional) milliseconds. */
+constexpr double
+toMs(Tick t)
+{
+    return double(t) / double(tickPerMs);
+}
+
+/** Convert signed ticks to (fractional) microseconds. */
+constexpr double
+toUsSigned(STick t)
+{
+    return double(t) / double(tickPerUs);
+}
+
+/**
+ * Time to move @p bytes at @p gbPerSec gigabytes per second
+ * (1 GB/s == 1 byte/ns).
+ */
+constexpr Tick
+transferTime(std::uint64_t bytes, double gbPerSec)
+{
+    return Tick(double(bytes) / gbPerSec * double(tickPerNs) + 0.5);
+}
+
+} // namespace relief
+
+#endif // RELIEF_SIM_TICKS_HH

@@ -1,0 +1,52 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace relief
+{
+
+void
+Accum::sample(double value)
+{
+    ++count_;
+    sum_ += value;
+    sumSq_ += value * value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+double
+Accum::variance() const
+{
+    if (count_ == 0)
+        return 0.0;
+    double m = mean();
+    double var = sumSq_ / double(count_) - m * m;
+    return var > 0.0 ? var : 0.0;
+}
+
+double
+Accum::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Accum::reset()
+{
+    *this = Accum();
+}
+
+double
+geomean(const std::vector<double> &values, double floor)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values)
+        logSum += std::log(std::max(v, floor));
+    return std::exp(logSum / double(values.size()));
+}
+
+} // namespace relief

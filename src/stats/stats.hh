@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Lightweight statistics primitives used by every model: counters,
+ * scalar accumulators, and small math helpers (geometric mean).
+ */
+
+#ifndef RELIEF_STATS_STATS_HH
+#define RELIEF_STATS_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace relief
+{
+
+/** Monotonically increasing event/byte counter. */
+class Counter
+{
+  public:
+    void add(std::uint64_t amount = 1) { value_ += amount; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Streaming accumulator for scalar samples: count, sum, mean, variance
+ * (population), min, and max.
+ */
+class Accum
+{
+  public:
+    void sample(double value);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    void reset();
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Geometric mean of strictly positive values. Values <= 0 are clamped to
+ * @p floor first (the paper's gmean bars do the same for zero entries).
+ */
+double geomean(const std::vector<double> &values, double floor = 1e-9);
+
+} // namespace relief
+
+#endif // RELIEF_STATS_STATS_HH

@@ -1,0 +1,132 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    RELIEF_ASSERT(header_.empty() || row.size() == header_.size(),
+                  "table '", title_, "': row width ", row.size(),
+                  " != header width ", header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    return num(fraction * 100.0, precision);
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto grow = [&](const std::vector<std::string> &row) {
+        if (row.size() > width.size())
+            width.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << std::left << std::setw(int(width[i]) + 2) << row[i];
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (auto w : width)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+Table::slug() const
+{
+    std::string out;
+    bool last_sep = true;
+    for (char c : title_) {
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+            out.push_back(char(std::tolower(
+                static_cast<unsigned char>(c))));
+            last_sep = false;
+        } else if (!last_sep) {
+            out.push_back('_');
+            last_sep = true;
+        }
+    }
+    while (!out.empty() && out.back() == '_')
+        out.pop_back();
+    return out.empty() ? "table" : out;
+}
+
+void
+Table::emit(std::ostream &os) const
+{
+    print(os);
+    const char *dir = std::getenv("RELIEF_CSV_DIR");
+    if (!dir || !*dir)
+        return;
+    std::string path = std::string(dir) + "/" + slug() + ".csv";
+    std::ofstream csv(path);
+    if (!csv) {
+        warn("cannot write CSV export to ", path);
+        return;
+    }
+    printCsv(csv);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    if (!title_.empty())
+        os << "# " << title_ << "\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                os << ",";
+            os << row[i];
+        }
+        os << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+} // namespace relief

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Plain-text table emitter for bench/example output. Benches print the
+ * same rows/series the paper's figures report; this class handles
+ * alignment, numeric formatting, and optional CSV export.
+ */
+
+#ifndef RELIEF_STATS_TABLE_HH
+#define RELIEF_STATS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace relief
+{
+
+class Table
+{
+  public:
+    explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+    /** Set the column headers (defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a fully formatted row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Format a double with @p precision decimals. */
+    static std::string num(double value, int precision = 2);
+
+    /** Format a percentage with @p precision decimals (no % sign). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment, title as a comment line). */
+    void printCsv(std::ostream &os) const;
+
+    /**
+     * print() to @p os and, when the RELIEF_CSV_DIR environment
+     * variable names a directory, also write
+     * `<dir>/<slugified-title>.csv` — how the benches export figure
+     * data for external plotting.
+     */
+    void emit(std::ostream &os) const;
+
+    /** Filesystem-safe slug of the title ("Fig 4 (low)" ->
+     *  "fig_4_low"). */
+    std::string slug() const;
+
+    const std::string &title() const { return title_; }
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace relief
+
+#endif // RELIEF_STATS_TABLE_HH

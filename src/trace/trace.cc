@@ -1,0 +1,147 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+int
+TraceRecorder::lane(const std::string &name)
+{
+    auto it = laneIds_.find(name);
+    if (it != laneIds_.end())
+        return it->second;
+    int id = int(laneNames_.size());
+    laneNames_.push_back(name);
+    laneIds_.emplace(name, id);
+    return id;
+}
+
+void
+TraceRecorder::span(int lane_id, std::string name, Tick start, Tick end,
+                    std::string category)
+{
+    RELIEF_ASSERT(lane_id >= 0 && lane_id < numLanes(),
+                  "trace span on unknown lane ", lane_id);
+    if (end <= start)
+        return;
+    TraceSpan s;
+    s.lane = lane_id;
+    s.name = std::move(name);
+    s.category = std::move(category);
+    s.start = start;
+    s.end = end;
+    spans_.push_back(std::move(s));
+}
+
+const std::string &
+TraceRecorder::laneName(int lane_id) const
+{
+    RELIEF_ASSERT(lane_id >= 0 && lane_id < numLanes(),
+                  "unknown trace lane ", lane_id);
+    return laneNames_[std::size_t(lane_id)];
+}
+
+Tick
+TraceRecorder::horizon() const
+{
+    Tick h = 0;
+    for (const TraceSpan &s : spans_)
+        h = std::max(h, s.end);
+    return h;
+}
+
+namespace
+{
+
+/** Minimal JSON string escaping (quotes and backslashes). */
+std::string
+jsonEscape(const std::string &in)
+{
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+TraceRecorder::writeChromeJson(std::ostream &os) const
+{
+    os << "[\n";
+    bool first = true;
+    for (int lane_id = 0; lane_id < numLanes(); ++lane_id) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+           << "\"tid\":" << lane_id << ",\"args\":{\"name\":\""
+           << jsonEscape(laneNames_[std::size_t(lane_id)]) << "\"}}";
+    }
+    for (const TraceSpan &s : spans_) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  {\"name\":\"" << jsonEscape(s.name) << "\",\"cat\":\""
+           << jsonEscape(s.category) << "\",\"ph\":\"X\",\"ts\":"
+           << toUs(s.start) << ",\"dur\":" << toUs(s.end - s.start)
+           << ",\"pid\":1,\"tid\":" << s.lane << "}";
+    }
+    os << "\n]\n";
+}
+
+void
+TraceRecorder::writeGantt(std::ostream &os, Tick from, Tick to,
+                          int width) const
+{
+    RELIEF_ASSERT(width >= 1, "gantt width must be positive");
+    if (to == maxTick)
+        to = horizon();
+    if (to <= from)
+        return;
+    Tick bucket = (to - from + Tick(width) - 1) / Tick(width);
+    if (bucket == 0)
+        bucket = 1;
+
+    std::size_t label_width = 4;
+    for (const std::string &name : laneNames_)
+        label_width = std::max(label_width, name.size());
+
+    os << std::string(label_width, ' ') << " |" << " [" << toUs(from)
+       << " us .. " << toUs(to) << " us, "
+       << toUs(bucket) << " us/char]\n";
+
+    for (int lane_id = 0; lane_id < numLanes(); ++lane_id) {
+        std::string row(std::size_t(width), '.');
+        for (const TraceSpan &s : spans_) {
+            if (s.lane != lane_id || s.end <= from || s.start >= to)
+                continue;
+            Tick s0 = std::max(s.start, from);
+            Tick s1 = std::min(s.end, to);
+            auto b0 = std::size_t((s0 - from) / bucket);
+            auto b1 = std::size_t((s1 - from - 1) / bucket);
+            char mark = s.name.empty() ? '#' : s.name[0];
+            for (std::size_t b = b0; b <= b1 && b < row.size(); ++b)
+                row[b] = mark;
+        }
+        const std::string &name = laneNames_[std::size_t(lane_id)];
+        os << name << std::string(label_width - name.size(), ' ')
+           << " |" << row << "\n";
+    }
+}
+
+void
+TraceRecorder::clear()
+{
+    spans_.clear();
+}
+
+} // namespace relief

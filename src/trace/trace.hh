@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Schedule tracing.
+ *
+ * A TraceRecorder collects labeled time spans on named lanes (one lane
+ * per accelerator, DMA direction, or the manager) and renders them
+ * either as Chrome trace-event JSON (load into chrome://tracing or
+ * Perfetto) or as an ASCII Gantt chart for terminals. The hardware
+ * manager emits load/compute/write-back/scheduler spans when a
+ * recorder is attached (Soc::enableTracing()).
+ */
+
+#ifndef RELIEF_TRACE_TRACE_HH
+#define RELIEF_TRACE_TRACE_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace relief
+{
+
+/** One traced activity. */
+struct TraceSpan
+{
+    int lane = 0;
+    std::string name;
+    std::string category;
+    Tick start = 0;
+    Tick end = 0;
+};
+
+class TraceRecorder
+{
+  public:
+    /** Get or create the lane named @p name; returns its id. Lane ids
+     *  are dense and ordered by first use. */
+    int lane(const std::string &name);
+
+    /** Record the half-open span [start, end) on @p lane_id. */
+    void span(int lane_id, std::string name, Tick start, Tick end,
+              std::string category = "task");
+
+    std::size_t numSpans() const { return spans_.size(); }
+    const std::vector<TraceSpan> &spans() const { return spans_; }
+    int numLanes() const { return int(laneNames_.size()); }
+    const std::string &laneName(int lane_id) const;
+
+    /** Latest end time across all spans. */
+    Tick horizon() const;
+
+    /** Chrome trace-event JSON (complete events + lane metadata). */
+    void writeChromeJson(std::ostream &os) const;
+
+    /**
+     * ASCII Gantt chart: one row per lane, @p width character buckets
+     * covering [from, to). Each bucket shows the first letter of the
+     * span occupying it ('.' when idle).
+     */
+    void writeGantt(std::ostream &os, Tick from = 0, Tick to = maxTick,
+                    int width = 100) const;
+
+    void clear();
+
+  private:
+    std::vector<std::string> laneNames_;
+    std::map<std::string, int> laneIds_;
+    std::vector<TraceSpan> spans_;
+};
+
+} // namespace relief
+
+#endif // RELIEF_TRACE_TRACE_HH

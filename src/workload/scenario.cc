@@ -1,0 +1,48 @@
+#include "workload/scenario.hh"
+
+namespace relief
+{
+
+const char *
+contentionName(Contention level)
+{
+    switch (level) {
+      case Contention::Low:
+        return "low";
+      case Contention::Medium:
+        return "medium";
+      case Contention::High:
+        return "high";
+      case Contention::Continuous:
+        return "continuous";
+    }
+    return "unknown";
+}
+
+std::vector<std::string>
+mixesFor(Contention level)
+{
+    const std::string symbols = "CDGHL";
+    std::vector<std::string> out;
+    switch (level) {
+      case Contention::Low:
+        for (char a : symbols)
+            out.push_back(std::string(1, a));
+        break;
+      case Contention::Medium:
+        for (std::size_t i = 0; i < symbols.size(); ++i)
+            for (std::size_t j = i + 1; j < symbols.size(); ++j)
+                out.push_back({symbols[i], symbols[j]});
+        break;
+      case Contention::High:
+      case Contention::Continuous:
+        for (std::size_t i = 0; i < symbols.size(); ++i)
+            for (std::size_t j = i + 1; j < symbols.size(); ++j)
+                for (std::size_t k = j + 1; k < symbols.size(); ++k)
+                    out.push_back({symbols[i], symbols[j], symbols[k]});
+        break;
+    }
+    return out;
+}
+
+} // namespace relief

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Contention scenarios (paper Section IV-C).
+ *
+ * Low contention runs each application alone; medium runs every pair;
+ * high runs every triple; continuous loops every triple's applications
+ * back-to-back for a fixed window (50 ms) so contention persists for
+ * each application's entire execution.
+ */
+
+#ifndef RELIEF_WORKLOAD_SCENARIO_HH
+#define RELIEF_WORKLOAD_SCENARIO_HH
+
+#include <string>
+#include <vector>
+
+#include "dag/apps/apps.hh"
+#include "sim/ticks.hh"
+
+namespace relief
+{
+
+/** System-load level. */
+enum class Contention
+{
+    Low,        ///< Single application.
+    Medium,     ///< All pairs.
+    High,       ///< All triples.
+    Continuous, ///< All triples, looped for the simulation window.
+};
+
+const char *contentionName(Contention level);
+
+/** Mix labels for @p level in the paper's order, e.g. {"CD", "CG", ...}
+ *  for Medium. */
+std::vector<std::string> mixesFor(Contention level);
+
+/** The paper's simulation window for continuous contention. */
+constexpr Tick continuousWindow = fromMs(50.0);
+
+} // namespace relief
+
+#endif // RELIEF_WORKLOAD_SCENARIO_HH

@@ -1,0 +1,97 @@
+/** @file Unit tests for the calibrated compute-time model. */
+
+#include <gtest/gtest.h>
+
+#include "acc/compute_model.hh"
+#include "sim/logging.hh"
+
+namespace relief
+{
+namespace
+{
+
+TEST(ComputeModelTest, ReferenceTimesMatchTableI)
+{
+    EXPECT_DOUBLE_EQ(referenceComputeUs(AccType::ISP), 34.88);
+    EXPECT_DOUBLE_EQ(referenceComputeUs(AccType::Grayscale), 10.26);
+    EXPECT_DOUBLE_EQ(referenceComputeUs(AccType::Convolution), 1545.61);
+    EXPECT_DOUBLE_EQ(referenceComputeUs(AccType::ElemMatrix), 10.94);
+    EXPECT_DOUBLE_EQ(referenceComputeUs(AccType::CannyNonMax), 443.02);
+    EXPECT_DOUBLE_EQ(referenceComputeUs(AccType::HarrisNonMax), 105.01);
+    EXPECT_DOUBLE_EQ(referenceComputeUs(AccType::EdgeTracking), 324.73);
+}
+
+TEST(ComputeModelTest, TimeScalesLinearlyWithElements)
+{
+    TaskParams full;
+    full.type = AccType::ElemMatrix;
+    full.elems = 16384;
+    TaskParams half = full;
+    half.elems = 8192;
+    EXPECT_NEAR(double(computeTime(full)) / double(computeTime(half)), 2.0,
+                0.001);
+}
+
+TEST(ComputeModelTest, ConvolutionScalesWithFilterArea)
+{
+    TaskParams conv5;
+    conv5.type = AccType::Convolution;
+    conv5.filterSize = 5;
+    TaskParams conv3 = conv5;
+    conv3.filterSize = 3;
+    double ratio = double(computeTime(conv5)) / double(computeTime(conv3));
+    EXPECT_NEAR(ratio, 25.0 / 9.0, 0.01);
+}
+
+TEST(ComputeModelTest, OversizeFilterPanics)
+{
+    TaskParams conv;
+    conv.type = AccType::Convolution;
+    conv.filterSize = 7;
+    EXPECT_THROW(computeTime(conv), PanicError);
+}
+
+TEST(ComputeModelTest, ZeroElementsPanics)
+{
+    TaskParams p;
+    p.elems = 0;
+    EXPECT_THROW(computeTime(p), PanicError);
+}
+
+TEST(ComputeModelTest, OperandBytesAre32BitExceptIsp)
+{
+    TaskParams em;
+    em.type = AccType::ElemMatrix;
+    em.elems = 16384;
+    EXPECT_EQ(inputBytesPerOperand(em), 65536u);
+    EXPECT_EQ(outputBytes(em), 65536u);
+
+    TaskParams isp;
+    isp.type = AccType::ISP;
+    isp.elems = 16384;
+    EXPECT_EQ(inputBytesPerOperand(isp), 32768u); // 16-bit Bayer
+    EXPECT_EQ(outputBytes(isp), 65536u);
+}
+
+TEST(ComputeModelTest, SpmSizesMatchTableI)
+{
+    EXPECT_EQ(defaultSpmBytes(AccType::CannyNonMax), 262144u);
+    EXPECT_EQ(defaultSpmBytes(AccType::Convolution), 196708u);
+    EXPECT_EQ(defaultSpmBytes(AccType::EdgeTracking), 98432u);
+    EXPECT_EQ(defaultSpmBytes(AccType::ElemMatrix), 262144u);
+    EXPECT_EQ(defaultSpmBytes(AccType::Grayscale), 180224u);
+    EXPECT_EQ(defaultSpmBytes(AccType::HarrisNonMax), 196608u);
+    EXPECT_EQ(defaultSpmBytes(AccType::ISP), 115204u);
+}
+
+TEST(AccTypesTest, SymbolsAndNames)
+{
+    EXPECT_STREQ(accTypeSymbol(AccType::Convolution), "C");
+    EXPECT_STREQ(accTypeSymbol(AccType::ElemMatrix), "EM");
+    EXPECT_STREQ(accTypeName(AccType::ISP), "ISP");
+    EXPECT_STREQ(elemOpName(ElemOp::Sigmoid), "sigmoid");
+    EXPECT_EQ(int(allAccTypes.size()), numAccTypes);
+}
+
+} // namespace
+} // namespace relief

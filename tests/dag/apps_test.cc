@@ -1,0 +1,200 @@
+/** @file Tests for the five application DAG builders (Table II/V). */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dag/apps/apps.hh"
+#include "sim/logging.hh"
+
+namespace relief
+{
+namespace
+{
+
+std::map<AccType, int>
+typeHistogram(Dag &dag)
+{
+    std::map<AccType, int> hist;
+    for (Node *node : dag.allNodes())
+        ++hist[node->params.type];
+    return hist;
+}
+
+TEST(AppsTest, DeadlinesMatchTableV)
+{
+    EXPECT_EQ(appDeadline(AppId::Canny), fromMs(16.6));
+    EXPECT_EQ(appDeadline(AppId::Deblur), fromMs(16.6));
+    EXPECT_EQ(appDeadline(AppId::Harris), fromMs(16.6));
+    EXPECT_EQ(appDeadline(AppId::Gru), fromMs(7.0));
+    EXPECT_EQ(appDeadline(AppId::Lstm), fromMs(7.0));
+}
+
+TEST(AppsTest, ParseMixRoundTrip)
+{
+    auto mix = parseMix("CDL");
+    ASSERT_EQ(mix.size(), 3u);
+    EXPECT_EQ(mix[0], AppId::Canny);
+    EXPECT_EQ(mix[1], AppId::Deblur);
+    EXPECT_EQ(mix[2], AppId::Lstm);
+    EXPECT_THROW(parseMix("CX"), FatalError);
+}
+
+TEST(AppsTest, CannyStructure)
+{
+    DagPtr dag = buildApp(AppId::Canny);
+    EXPECT_EQ(dag->numNodes(), 13);
+    EXPECT_EQ(dag->numEdges(), 15);
+    auto hist = typeHistogram(*dag);
+    EXPECT_EQ(hist[AccType::ISP], 1);
+    EXPECT_EQ(hist[AccType::Grayscale], 1);
+    EXPECT_EQ(hist[AccType::Convolution], 3);
+    EXPECT_EQ(hist[AccType::ElemMatrix], 6);
+    EXPECT_EQ(hist[AccType::CannyNonMax], 1);
+    EXPECT_EQ(hist[AccType::EdgeTracking], 1);
+    EXPECT_EQ(dag->roots().size(), 1u);
+    EXPECT_EQ(dag->leaves().size(), 1u);
+}
+
+TEST(AppsTest, DeblurIsALinearPipelineOfIterations)
+{
+    DagPtr dag = buildApp(AppId::Deblur);
+    EXPECT_EQ(dag->numNodes(), 22); // 2 + 5 iterations x 4
+    auto hist = typeHistogram(*dag);
+    EXPECT_EQ(hist[AccType::Convolution], 10);
+    EXPECT_EQ(hist[AccType::ElemMatrix], 10);
+    EXPECT_EQ(dag->leaves().size(), 1u);
+}
+
+TEST(AppsTest, DeblurIterationsConfigurable)
+{
+    AppConfig config;
+    config.deblurIters = 2;
+    DagPtr dag = buildApp(AppId::Deblur, config);
+    EXPECT_EQ(dag->numNodes(), 10);
+}
+
+TEST(AppsTest, HarrisStructure)
+{
+    DagPtr dag = buildApp(AppId::Harris);
+    EXPECT_EQ(dag->numNodes(), 16);
+    auto hist = typeHistogram(*dag);
+    EXPECT_EQ(hist[AccType::Convolution], 5);
+    EXPECT_EQ(hist[AccType::ElemMatrix], 8);
+    EXPECT_EQ(hist[AccType::HarrisNonMax], 1);
+}
+
+TEST(AppsTest, RnnAppsAreElemMatrixOnly)
+{
+    for (AppId app : {AppId::Gru, AppId::Lstm}) {
+        DagPtr dag = buildApp(app);
+        for (Node *node : dag->allNodes())
+            EXPECT_EQ(node->params.type, AccType::ElemMatrix)
+                << node->label;
+    }
+}
+
+TEST(AppsTest, RnnTaskCountsMatchTableIIArithmetic)
+{
+    // GRU: 14 tasks/step, LSTM: 17 tasks/step, sequence length 8.
+    EXPECT_EQ(buildApp(AppId::Gru)->numNodes(), 112);
+    EXPECT_EQ(buildApp(AppId::Lstm)->numNodes(), 136);
+}
+
+TEST(AppsTest, RnnSequenceLengthScalesNodes)
+{
+    AppConfig config;
+    config.seqLen = 2;
+    EXPECT_EQ(buildApp(AppId::Gru, config)->numNodes(), 28);
+    EXPECT_EQ(buildApp(AppId::Lstm, config)->numNodes(), 34);
+}
+
+TEST(AppsTest, ComputeTimesTrackTableII)
+{
+    // Total per-app compute time vs Table II (us). The DAG shapes are
+    // reconstructed from Fig. 1, so allow a few percent of slack.
+    const std::map<AppId, double> expected = {
+        {AppId::Canny, 3539.37},  {AppId::Deblur, 15610.58},
+        {AppId::Gru, 1249.31},    {AppId::Harris, 6157.30},
+        {AppId::Lstm, 1470.02},
+    };
+    for (const auto &[app, us] : expected) {
+        DagPtr dag = buildApp(app);
+        double measured = toUs(dag->totalComputeTime());
+        EXPECT_NEAR(measured, us, us * 0.05) << appName(app);
+    }
+}
+
+TEST(AppsTest, DeblurComputeMatchesTableIIExactly)
+{
+    // The deblur decomposition reproduces Table II to within rounding:
+    // I + G + 10 x C(5x5) + 10 x EM = 15610.6 us.
+    DagPtr dag = buildApp(AppId::Deblur);
+    EXPECT_NEAR(toUs(dag->totalComputeTime()), 15610.58, 0.5);
+}
+
+TEST(AppsTest, RnnChainsReachNineNodes)
+{
+    // Paper: RNN step graphs contain linear chains up to 9 nodes. The
+    // longest per-step chain (through the candidate state) is 9.
+    DagPtr dag = buildApp(AppId::Gru, AppConfig{.seqLen = 1});
+    // Longest path in a single step, counted in nodes.
+    int n = dag->numNodes();
+    std::vector<int> depth(std::size_t(n), 1);
+    int longest = 1;
+    for (int i = 0; i < n; ++i) {
+        Node *node = dag->node(i);
+        for (Node *c : node->children) {
+            auto &d = depth[std::size_t(c->indexInDag)];
+            d = std::max(d, depth[std::size_t(i)] + 1);
+            longest = std::max(longest, d);
+        }
+    }
+    EXPECT_EQ(longest, 9);
+}
+
+TEST(AppsTest, LaxityWhenRunAloneIsPositive)
+{
+    // Table V: every application has positive laxity when run alone
+    // (deadline minus critical-path runtime).
+    for (AppId app : allApps) {
+        DagPtr dag = buildApp(app);
+        EXPECT_LT(dag->criticalPathRuntime(), dag->relativeDeadline())
+            << appName(app);
+    }
+}
+
+TEST(AppsTest, DeblurLaxityIsTightest)
+{
+    // Table V: deblur has by far the smallest standalone laxity.
+    std::map<AppId, Tick> laxity;
+    for (AppId app : allApps) {
+        DagPtr dag = buildApp(app);
+        laxity[app] = dag->relativeDeadline() - dag->criticalPathRuntime();
+    }
+    for (AppId app : {AppId::Canny, AppId::Gru, AppId::Harris,
+                      AppId::Lstm}) {
+        EXPECT_LT(laxity[AppId::Deblur], laxity[app]) << appName(app);
+    }
+}
+
+TEST(AppsTest, FunctionalFlagAttachesPayloads)
+{
+    AppConfig config;
+    config.functional = true;
+    for (AppId app : allApps) {
+        DagPtr dag = buildApp(app, config);
+        for (Node *node : dag->allNodes())
+            EXPECT_TRUE(bool(node->fn)) << node->label;
+    }
+}
+
+TEST(AppsTest, NonFunctionalHasNoPayloads)
+{
+    DagPtr dag = buildApp(AppId::Canny);
+    for (Node *node : dag->allNodes())
+        EXPECT_FALSE(bool(node->fn));
+}
+
+} // namespace
+} // namespace relief

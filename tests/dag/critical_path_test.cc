@@ -1,0 +1,143 @@
+/** @file Tests for critical-path (ALAP) and SDR deadline assignment. */
+
+#include <gtest/gtest.h>
+
+#include "dag/dag.hh"
+
+namespace relief
+{
+namespace
+{
+
+/** Build a chain a -> b -> c with fixed runtimes 10, 20, 30 us. */
+struct Chain
+{
+    Dag dag{"chain", 'X'};
+    Node *a;
+    Node *b;
+    Node *c;
+
+    explicit Chain(Tick deadline = fromUs(100.0))
+    {
+        TaskParams p;
+        p.type = AccType::ElemMatrix;
+        a = dag.addNode(p, "a");
+        b = dag.addNode(p, "b");
+        c = dag.addNode(p, "c");
+        a->fixedRuntime = fromUs(10.0);
+        b->fixedRuntime = fromUs(20.0);
+        c->fixedRuntime = fromUs(30.0);
+        dag.addEdge(a, b);
+        dag.addEdge(b, c);
+        dag.setRelativeDeadline(deadline);
+        dag.finalize();
+    }
+};
+
+TEST(CriticalPathTest, ChainAlapDeadlines)
+{
+    Chain chain;
+    // Latest finishes: a at 100-50=50, b at 100-30=70, c at 100.
+    EXPECT_EQ(chain.a->relDeadlineCp, fromUs(50.0));
+    EXPECT_EQ(chain.b->relDeadlineCp, fromUs(70.0));
+    EXPECT_EQ(chain.c->relDeadlineCp, fromUs(100.0));
+}
+
+TEST(CriticalPathTest, ChainSdrDeadlines)
+{
+    Chain chain;
+    // Path runtime 60: SDRs are 10/60, 30/60, 60/60.
+    EXPECT_EQ(chain.a->relDeadlineSdr, Tick(fromUs(100.0) / 6));
+    EXPECT_EQ(chain.b->relDeadlineSdr, fromUs(50.0));
+    EXPECT_EQ(chain.c->relDeadlineSdr, fromUs(100.0));
+}
+
+TEST(CriticalPathTest, ChainCriticalPathRuntime)
+{
+    Chain chain;
+    EXPECT_EQ(chain.dag.criticalPathRuntime(), fromUs(60.0));
+}
+
+TEST(CriticalPathTest, DeadlineSchemesSelectable)
+{
+    Chain chain;
+    EXPECT_EQ(chain.dag.nodeRelativeDeadline(*chain.a,
+                                             DeadlineScheme::DagDeadline),
+              fromUs(100.0));
+    EXPECT_EQ(chain.dag.nodeRelativeDeadline(*chain.a,
+                                             DeadlineScheme::CriticalPath),
+              fromUs(50.0));
+    EXPECT_EQ(chain.dag.nodeRelativeDeadline(*chain.a,
+                                             DeadlineScheme::Sdr),
+              Tick(fromUs(100.0) / 6));
+}
+
+TEST(CriticalPathTest, DiamondTakesLongerBranch)
+{
+    // a -> {b(40), c(10)} -> d: ALAP of a must respect the 40 branch.
+    Dag dag("diamond", 'X');
+    TaskParams p;
+    p.type = AccType::ElemMatrix;
+    p.numInputs = 2;
+    Node *a = dag.addNode(p, "a");
+    Node *b = dag.addNode(p, "b");
+    Node *c = dag.addNode(p, "c");
+    Node *d = dag.addNode(p, "d");
+    a->fixedRuntime = fromUs(10.0);
+    b->fixedRuntime = fromUs(40.0);
+    c->fixedRuntime = fromUs(10.0);
+    d->fixedRuntime = fromUs(10.0);
+    dag.addEdge(a, b);
+    dag.addEdge(a, c);
+    dag.addEdge(b, d);
+    dag.addEdge(c, d);
+    dag.setRelativeDeadline(fromUs(100.0));
+    dag.finalize();
+
+    EXPECT_EQ(dag.criticalPathRuntime(), fromUs(60.0));
+    EXPECT_EQ(a->relDeadlineCp, fromUs(50.0));  // 100 - (40 + 10)
+    EXPECT_EQ(b->relDeadlineCp, fromUs(90.0));
+    EXPECT_EQ(c->relDeadlineCp, fromUs(90.0));
+    EXPECT_EQ(d->relDeadlineCp, fromUs(100.0));
+    // SDR: c sits on a 30-us path -> 20/30 of the deadline; b on the
+    // 60-us critical path -> 50/60.
+    EXPECT_EQ(c->relDeadlineSdr, Tick(fromUs(100.0) * 2 / 3));
+    EXPECT_EQ(b->relDeadlineSdr, Tick(fromUs(100.0) * 5 / 6));
+}
+
+TEST(CriticalPathTest, TightDeadlineClampsToRuntime)
+{
+    // Deadline shorter than the chain: early nodes get at least their
+    // own runtime as relative deadline (never zero/negative).
+    Chain chain(fromUs(40.0));
+    EXPECT_EQ(chain.a->relDeadlineCp, fromUs(10.0));
+    EXPECT_EQ(chain.c->relDeadlineCp, fromUs(40.0));
+}
+
+TEST(CriticalPathTest, DeadlinesMonotonicAlongEveryPath)
+{
+    Chain chain;
+    EXPECT_LT(chain.a->relDeadlineCp, chain.b->relDeadlineCp);
+    EXPECT_LT(chain.b->relDeadlineCp, chain.c->relDeadlineCp);
+    EXPECT_LE(chain.a->relDeadlineSdr, chain.b->relDeadlineSdr);
+    EXPECT_LE(chain.b->relDeadlineSdr, chain.c->relDeadlineSdr);
+}
+
+TEST(CriticalPathTest, IndependentNodesGetFullDeadline)
+{
+    Dag dag("par", 'X');
+    TaskParams p;
+    p.type = AccType::ElemMatrix;
+    Node *a = dag.addNode(p, "a");
+    Node *b = dag.addNode(p, "b");
+    a->fixedRuntime = fromUs(10.0);
+    b->fixedRuntime = fromUs(20.0);
+    dag.setRelativeDeadline(fromUs(100.0));
+    dag.finalize();
+    EXPECT_EQ(a->relDeadlineCp, fromUs(100.0));
+    EXPECT_EQ(b->relDeadlineCp, fromUs(100.0));
+    EXPECT_EQ(a->relDeadlineSdr, fromUs(100.0));
+}
+
+} // namespace
+} // namespace relief

@@ -1,0 +1,129 @@
+/** @file Tests for the additional composed applications. */
+
+#include <gtest/gtest.h>
+
+#include "core/soc.hh"
+#include "dag/apps/extra_apps.hh"
+#include "kernels/vision.hh"
+
+namespace relief
+{
+namespace
+{
+
+AppConfig
+functionalConfig()
+{
+    AppConfig config;
+    config.functional = true;
+    return config;
+}
+
+/** Run one extra-app DAG to completion under RELIEF. */
+void
+runDag(DagPtr dag)
+{
+    Soc soc;
+    soc.submit(dag);
+    soc.run(fromMs(50.0));
+    ASSERT_TRUE(dag->complete()) << dag->name();
+}
+
+TEST(ExtraAppsTest, SharpenStructure)
+{
+    DagPtr dag = buildSharpen();
+    EXPECT_EQ(dag->numNodes(), 6);
+    EXPECT_EQ(dag->numEdges(), 7);
+    EXPECT_EQ(dag->roots().size(), 1u);
+    EXPECT_EQ(dag->leaves().size(), 1u);
+    EXPECT_TRUE(dag->finalized());
+}
+
+TEST(ExtraAppsTest, SobelViewStructure)
+{
+    DagPtr dag = buildSobelView();
+    EXPECT_EQ(dag->numNodes(), 8);
+    EXPECT_EQ(dag->leaves().size(), 1u);
+}
+
+TEST(ExtraAppsTest, MotionHasTwoIndependentFrameChains)
+{
+    DagPtr dag = buildMotion();
+    EXPECT_EQ(dag->numNodes(), 10);
+    EXPECT_EQ(dag->roots().size(), 2u); // two ISP frames
+    EXPECT_EQ(dag->leaves().size(), 1u);
+}
+
+TEST(ExtraAppsTest, AllMeetDeadlinesAlone)
+{
+    for (DagPtr dag :
+         {buildSharpen(), buildSobelView(), buildMotion()}) {
+        EXPECT_LT(dag->criticalPathRuntime(), dag->relativeDeadline())
+            << dag->name();
+        runDag(dag);
+        EXPECT_LE(dag->finishTick(), dag->absoluteDeadline())
+            << dag->name();
+    }
+}
+
+TEST(ExtraAppsTest, SharpenMatchesReference)
+{
+    DagPtr dag = buildSharpen(functionalConfig());
+    runDag(dag);
+    BayerImage raw = makeSyntheticScene(128, 128, 1);
+    Plane expected = sharpenReference(raw);
+    EXPECT_EQ(dag->leaves().front()->outputData, expected.data());
+}
+
+TEST(ExtraAppsTest, SobelViewMatchesReference)
+{
+    DagPtr dag = buildSobelView(functionalConfig());
+    runDag(dag);
+    BayerImage raw = makeSyntheticScene(128, 128, 1);
+    Plane expected = sobelViewReference(raw);
+    EXPECT_EQ(dag->leaves().front()->outputData, expected.data());
+}
+
+TEST(ExtraAppsTest, MotionMatchesReference)
+{
+    DagPtr dag = buildMotion(functionalConfig());
+    runDag(dag);
+    BayerImage frame_a = makeSyntheticScene(128, 128, 1);
+    BayerImage frame_b = makeSyntheticScene(128, 128, 2);
+    Plane expected = motionReference(frame_a, frame_b);
+    EXPECT_EQ(dag->leaves().front()->outputData, expected.data());
+}
+
+TEST(ExtraAppsTest, MotionDetectsChangedPixels)
+{
+    DagPtr dag = buildMotion(functionalConfig());
+    runDag(dag);
+    const auto &mask = dag->leaves().front()->outputData;
+    int active = 0;
+    for (float v : mask) {
+        EXPECT_TRUE(v == 0.0f || v == 1.0f);
+        active += v != 0.0f;
+    }
+    // The two synthetic frames differ only by sensor noise; a modest
+    // number of pixels light up, not the whole frame.
+    EXPECT_LT(active, int(mask.size()) / 2);
+}
+
+TEST(ExtraAppsTest, SharpenIncreasesLocalContrast)
+{
+    BayerImage raw = makeSyntheticScene(128, 128, 1);
+    Plane gray = grayscale(isp(raw));
+    Plane sharp = sharpenReference(raw);
+    // Variance (contrast energy) must grow.
+    auto variance = [](const Plane &p) {
+        double mean = p.sum() / double(p.size());
+        double var = 0.0;
+        for (float v : p.data())
+            var += (double(v) - mean) * (double(v) - mean);
+        return var / double(p.size());
+    };
+    EXPECT_GT(variance(sharp), variance(gray));
+}
+
+} // namespace
+} // namespace relief

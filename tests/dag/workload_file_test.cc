@@ -1,0 +1,129 @@
+/** @file Unit tests for the text workload format. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/soc.hh"
+#include "dag/workload_file.hh"
+#include "sim/logging.hh"
+
+namespace relief
+{
+namespace
+{
+
+std::vector<DagPtr>
+parse(const std::string &text)
+{
+    std::istringstream in(text);
+    return parseWorkload(in);
+}
+
+const char *const kPipeline = R"(
+# a small pipeline
+dag pipeline deadline_ms 5.0
+node load I
+node gray G
+node blur C filter 3
+node stats EM op add inputs 2
+edge load gray
+edge gray blur
+edge gray stats
+edge blur stats
+end
+)";
+
+TEST(WorkloadFileTest, ParsesThePipelineExample)
+{
+    auto dags = parse(kPipeline);
+    ASSERT_EQ(dags.size(), 1u);
+    Dag &dag = *dags[0];
+    EXPECT_EQ(dag.name(), "pipeline");
+    EXPECT_EQ(dag.relativeDeadline(), fromMs(5.0));
+    EXPECT_EQ(dag.numNodes(), 4);
+    EXPECT_EQ(dag.numEdges(), 4);
+    EXPECT_TRUE(dag.finalized());
+    EXPECT_EQ(dag.node(2)->params.type, AccType::Convolution);
+    EXPECT_EQ(dag.node(2)->params.filterSize, 3);
+    EXPECT_EQ(dag.node(3)->params.op, ElemOp::Add);
+    EXPECT_EQ(dag.node(3)->params.numInputs, 2);
+}
+
+TEST(WorkloadFileTest, ParsesMultipleDags)
+{
+    auto dags = parse(R"(
+dag a deadline_ms 1
+node x EM
+end
+dag b deadline_ms 2
+node y C
+end
+)");
+    ASSERT_EQ(dags.size(), 2u);
+    EXPECT_EQ(dags[0]->name(), "a");
+    EXPECT_EQ(dags[1]->name(), "b");
+}
+
+TEST(WorkloadFileTest, RuntimeOverrideAndElems)
+{
+    auto dags = parse(R"(
+dag t deadline_ms 1
+node x EM elems 256 runtime_us 42.5
+end
+)");
+    Node *node = dags[0]->node(0);
+    EXPECT_EQ(node->params.elems, 256u);
+    EXPECT_EQ(node->fixedRuntime, fromUs(42.5));
+}
+
+TEST(WorkloadFileTest, RejectsMalformedInput)
+{
+    EXPECT_THROW(parse("node x EM\n"), FatalError);   // outside dag
+    EXPECT_THROW(parse("edge a b\n"), FatalError);    // outside dag
+    EXPECT_THROW(parse("end\n"), FatalError);         // outside dag
+    EXPECT_THROW(parse("dag a deadline_ms 1\n"), FatalError); // no end
+    EXPECT_THROW(parse(""), FatalError);              // no dags
+    EXPECT_THROW(parse("bogus\n"), FatalError);
+}
+
+TEST(WorkloadFileTest, RejectsBadNodes)
+{
+    EXPECT_THROW(parse("dag a deadline_ms 1\nnode x QQ\nend\n"),
+                 FatalError);
+    EXPECT_THROW(parse("dag a deadline_ms 1\nnode x EM wat 3\nend\n"),
+                 FatalError);
+    EXPECT_THROW(
+        parse("dag a deadline_ms 1\nnode x EM\nnode x EM\nend\n"),
+        FatalError);
+    EXPECT_THROW(parse("dag a deadline_ms 1\nnode x EM op nope\nend\n"),
+                 FatalError);
+}
+
+TEST(WorkloadFileTest, RejectsBadEdgesAndDeadlines)
+{
+    EXPECT_THROW(
+        parse("dag a deadline_ms 1\nnode x EM\nedge x y\nend\n"),
+        FatalError);
+    EXPECT_THROW(parse("dag a deadline_ms 0\nnode x EM\nend\n"),
+                 FatalError);
+    EXPECT_THROW(parse("dag a deadline_ms 1\ndag b deadline_ms 1\n"),
+                 FatalError);
+}
+
+TEST(WorkloadFileTest, MissingFileIsFatal)
+{
+    EXPECT_THROW(loadWorkloadFile("/no/such/workload.txt"), FatalError);
+}
+
+TEST(WorkloadFileTest, ParsedDagRunsOnTheSoc)
+{
+    auto dags = parse(kPipeline);
+    Soc soc;
+    soc.submit(dags[0]);
+    soc.run(fromMs(50.0));
+    EXPECT_TRUE(dags[0]->complete());
+}
+
+} // namespace
+} // namespace relief

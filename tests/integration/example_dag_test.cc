@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Motivating-example tests in the spirit of the paper's Fig. 2: small
+ * hand-built DAGs with fixed runtimes where the ideal schedule is known.
+ * RELIEF must realize the forwarding/colocation opportunities that
+ * deadline- and laxity-driven baselines forfeit, while its feasibility
+ * check must refuse promotions that would break a tight deadline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/soc.hh"
+#include "dag/dag.hh"
+#include "sched/oracle.hh"
+#include "sched/relief.hh"
+
+namespace relief
+{
+namespace
+{
+
+TaskParams
+unitTask(AccType type)
+{
+    TaskParams p;
+    p.type = type;
+    p.numInputs = 1;
+    p.elems = 256; // 1 KiB operands: transfers are negligible
+    return p;
+}
+
+/** Linear chain of @p length nodes, all on @p type, 100 us each. */
+DagPtr
+chain(const std::string &name, AccType type, int length, Tick deadline)
+{
+    auto dag = std::make_shared<Dag>(name, name[0]);
+    Node *prev = nullptr;
+    for (int i = 0; i < length; ++i) {
+        Node *n = dag->addNode(unitTask(type),
+                               name + "." + std::to_string(i));
+        n->fixedRuntime = fromUs(100.0);
+        if (prev)
+            dag->addEdge(prev, n);
+        prev = n;
+    }
+    dag->setRelativeDeadline(deadline);
+    dag->finalize();
+    return dag;
+}
+
+struct Outcome
+{
+    std::uint64_t forwardsPlusColocations = 0;
+    std::uint64_t dagDeadlinesMet = 0;
+    std::uint64_t nodeDeadlinesMet = 0;
+    std::uint64_t nodesFinished = 0;
+};
+
+Outcome
+runTwoChains(PolicyKind policy, Tick deadline = fromMs(10.0))
+{
+    SocConfig config;
+    config.policy = policy;
+    config.manager.computeJitter = 0.0;
+    Soc soc(config);
+    soc.submit(chain("a", AccType::ElemMatrix, 4, deadline));
+    soc.submit(chain("b", AccType::ElemMatrix, 4, deadline));
+    soc.run(fromMs(50.0));
+    MetricsReport report = soc.report();
+    Outcome out;
+    out.forwardsPlusColocations =
+        report.run.forwards + report.run.colocations;
+    out.dagDeadlinesMet = report.run.dagDeadlinesMet;
+    out.nodeDeadlinesMet = report.run.nodeDeadlinesMet;
+    out.nodesFinished = report.run.nodesFinished;
+    return out;
+}
+
+TEST(ExampleDagTest, EqualDeadlineChainsInterleaveUnderBaselines)
+{
+    // Two identical chains on one accelerator: laxity/deadline ties
+    // make LL-style policies round-robin between the DAGs, forfeiting
+    // every colocation (the paper's explanation for RNN behaviour,
+    // Section V-A).
+    for (PolicyKind policy : {PolicyKind::GedfN, PolicyKind::Lax,
+                              PolicyKind::HetSched}) {
+        Outcome out = runTwoChains(policy);
+        EXPECT_EQ(out.forwardsPlusColocations, 0u) << policyName(policy);
+        EXPECT_EQ(out.dagDeadlinesMet, 2u) << policyName(policy);
+    }
+}
+
+TEST(ExampleDagTest, ReliefRecoversEveryColocation)
+{
+    Outcome out = runTwoChains(PolicyKind::Relief);
+    // 3 edges per chain, all colocated by child promotion.
+    EXPECT_EQ(out.forwardsPlusColocations, 6u);
+    EXPECT_EQ(out.dagDeadlinesMet, 2u);
+    EXPECT_EQ(out.nodeDeadlinesMet, out.nodesFinished);
+}
+
+TEST(ExampleDagTest, FcfsAlsoInterleavesArrivalTies)
+{
+    Outcome out = runTwoChains(PolicyKind::Fcfs);
+    EXPECT_EQ(out.forwardsPlusColocations, 0u);
+}
+
+TEST(ExampleDagTest, ReliefBeatsEveryBaselineOnMixedExample)
+{
+    // A cross-type example: two producer/consumer pipelines sharing
+    // three accelerator types.
+    auto build = [](const std::string &name, Tick deadline) {
+        auto dag = std::make_shared<Dag>(name, name[0]);
+        Node *a = dag->addNode(unitTask(AccType::ElemMatrix), name + ".a");
+        Node *b = dag->addNode(unitTask(AccType::Convolution),
+                               name + ".b");
+        Node *c = dag->addNode(unitTask(AccType::ElemMatrix), name + ".c");
+        Node *d = dag->addNode(unitTask(AccType::Grayscale), name + ".d");
+        for (Node *n : {a, b, c, d})
+            n->fixedRuntime = fromUs(100.0);
+        dag->addEdge(a, b);
+        dag->addEdge(b, c);
+        dag->addEdge(c, d);
+        dag->setRelativeDeadline(deadline);
+        dag->finalize();
+        return dag;
+    };
+
+    auto run = [&](PolicyKind policy) {
+        SocConfig config;
+        config.policy = policy;
+        config.manager.computeJitter = 0.0;
+        Soc soc(config);
+        soc.submit(build("x", fromMs(8.0)));
+        soc.submit(build("y", fromMs(8.0)));
+        soc.run(fromMs(50.0));
+        MetricsReport report = soc.report();
+        return report.run.forwards + report.run.colocations;
+    };
+
+    std::uint64_t relief = run(PolicyKind::Relief);
+    for (PolicyKind policy :
+         {PolicyKind::Fcfs, PolicyKind::GedfD, PolicyKind::GedfN,
+          PolicyKind::Lax, PolicyKind::HetSched}) {
+        EXPECT_GE(relief, run(policy)) << policyName(policy);
+    }
+    EXPECT_EQ(relief, 6u); // all edges of both DAGs
+}
+
+TEST(ExampleDagTest, FeasibilityCheckProtectsTightDeadline)
+{
+    // An urgent single-node DAG waits on the elem-matrix accelerator
+    // while a loose chain generates forwarding candidates. RELIEF may
+    // promote only while the urgent node's laxity tolerates it — the
+    // urgent deadline must survive.
+    SocConfig config;
+    config.policy = PolicyKind::Relief;
+    config.manager.computeJitter = 0.0;
+    Soc soc(config);
+
+    DagPtr loose = chain("loose", AccType::ElemMatrix, 8, fromMs(20.0));
+    // Urgent: one 100 us task with only ~350 us of slack.
+    DagPtr urgent = chain("urgent", AccType::ElemMatrix, 1, fromUs(450.0));
+    soc.submit(loose);
+    soc.submit(urgent);
+    soc.run(fromMs(50.0));
+
+    MetricsReport report = soc.report();
+    ASSERT_EQ(report.run.dagsFinished, 2u);
+    for (const AppOutcome &app : report.apps) {
+        if (app.name == "urgent") {
+            EXPECT_EQ(app.deadlinesMet, 1) << "urgent DAG missed its "
+                                              "deadline: promotions were "
+                                              "not throttled";
+        }
+    }
+    // The loose chain still gets some colocations before/after the
+    // urgent node runs.
+    EXPECT_GT(report.run.colocations, 0u);
+}
+
+TEST(ExampleDagTest, ReliefMatchesTheOracleOnTheMotivatingExample)
+{
+    // The paper's claim for Fig. 2: "RELIEF achieves the ideal
+    // schedule." Compare against the exhaustive search.
+    DagPtr a = chain("a", AccType::ElemMatrix, 4, fromMs(10.0));
+    DagPtr b = chain("b", AccType::ElemMatrix, 4, fromMs(10.0));
+    std::array<int, std::size_t(numAccTypes)> instances = {1, 1, 1, 1,
+                                                           1, 1, 1};
+    OracleResult ideal =
+        findIdealSchedule({a.get(), b.get()}, instances);
+    ASSERT_TRUE(ideal.exhaustive);
+
+    Outcome relief = runTwoChains(PolicyKind::Relief);
+    EXPECT_EQ(int(relief.forwardsPlusColocations),
+              ideal.totalRealized());
+    EXPECT_EQ(int(relief.dagDeadlinesMet), ideal.dagDeadlinesMet);
+}
+
+TEST(ExampleDagTest, PromotionThrottleCountsAreExposed)
+{
+    SocConfig config;
+    config.policy = PolicyKind::Relief;
+    config.manager.computeJitter = 0.0;
+    Soc soc(config);
+    soc.submit(chain("a", AccType::ElemMatrix, 4, fromMs(10.0)));
+    soc.submit(chain("b", AccType::ElemMatrix, 4, fromMs(10.0)));
+    soc.run(fromMs(50.0));
+    auto &relief = dynamic_cast<ReliefPolicy &>(soc.manager().policy());
+    EXPECT_GT(relief.numPromotions(), 0u);
+}
+
+} // namespace
+} // namespace relief

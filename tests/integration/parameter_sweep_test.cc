@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Parameterized sweeps: the reproduction must hold across input sizes,
+ * sequence lengths, fabric kinds, and memory models — not just the
+ * paper's exact configuration. Each sweep checks a structural
+ * invariant or a functional equivalence at every point.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/experiment.hh"
+#include "kernels/vision.hh"
+
+namespace relief
+{
+namespace
+{
+
+// --- Functional correctness across image sizes ------------------------
+
+class ImageSizeSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ImageSizeSweep, CannyDagMatchesReferenceAtEverySize)
+{
+    const int size = GetParam();
+    AppConfig app_config;
+    app_config.functional = true;
+    app_config.width = size;
+    app_config.height = size;
+
+    Soc soc;
+    DagPtr dag = buildApp(AppId::Canny, app_config);
+    soc.submit(dag);
+    soc.run(fromMs(50.0));
+    ASSERT_TRUE(dag->complete());
+
+    BayerImage raw = makeSyntheticScene(size, size, app_config.seed);
+    Plane expected = cannyReference(raw);
+    EXPECT_EQ(dag->leaves().front()->outputData, expected.data());
+}
+
+TEST_P(ImageSizeSweep, ComputeTimeScalesWithArea)
+{
+    const int size = GetParam();
+    TaskParams p;
+    p.type = AccType::ElemMatrix;
+    p.elems = std::uint32_t(size) * std::uint32_t(size);
+    double expected_us =
+        10.94 * double(p.elems) / double(referenceElems);
+    EXPECT_NEAR(toUs(computeTime(p)), expected_us, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ImageSizeSweep,
+                         ::testing::Values(32, 64, 96, 128));
+
+// --- RNN sequence-length sweep ----------------------------------------
+
+class SeqLenSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SeqLenSweep, GruDagMatchesCellAtEveryLength)
+{
+    AppConfig app_config;
+    app_config.functional = true;
+    app_config.seqLen = GetParam();
+
+    Soc soc;
+    DagPtr dag = buildApp(AppId::Gru, app_config);
+    soc.submit(dag);
+    soc.run(fromMs(200.0));
+    ASSERT_TRUE(dag->complete());
+
+    auto expected = gruReferenceOutput(app_config);
+    const auto &got = dag->leaves().front()->outputData;
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); i += 997)
+        EXPECT_NEAR(got[i], expected[i], 1e-5) << i;
+}
+
+TEST_P(SeqLenSweep, NodeCountIsFourteenPerStep)
+{
+    AppConfig app_config;
+    app_config.seqLen = GetParam();
+    EXPECT_EQ(buildApp(AppId::Gru, app_config)->numNodes(),
+              14 * GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, SeqLenSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+// --- Platform sweep: fabric x memory model ----------------------------
+
+class PlatformSweep
+    : public ::testing::TestWithParam<std::tuple<FabricKind, bool>>
+{
+};
+
+TEST_P(PlatformSweep, MixCompletesWithConsistentAccounting)
+{
+    auto [fabric, banked] = GetParam();
+    ExperimentConfig config;
+    config.soc.policy = PolicyKind::Relief;
+    config.soc.fabric = fabric;
+    config.soc.bankedMemory = banked;
+    config.mix = "CGL";
+    MetricsReport r = runExperiment(config);
+    EXPECT_EQ(r.run.forwards + r.run.colocations + r.run.dramEdges,
+              r.run.edgesConsumed);
+    EXPECT_GT(r.run.nodesFinished, 0u);
+    EXPECT_LE(r.dramBytes, r.run.baselineBytes);
+}
+
+TEST_P(PlatformSweep, ReliefStillBeatsLaxOnForwards)
+{
+    auto [fabric, banked] = GetParam();
+    auto run_policy = [&](PolicyKind policy) {
+        ExperimentConfig config;
+        config.soc.policy = policy;
+        config.soc.fabric = std::get<0>(GetParam());
+        config.soc.bankedMemory = std::get<1>(GetParam());
+        config.mix = "GHL";
+        return runExperiment(config).forwardFraction();
+    };
+    (void)fabric;
+    (void)banked;
+    EXPECT_GT(run_policy(PolicyKind::Relief),
+              run_policy(PolicyKind::Lax) * 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Platforms, PlatformSweep,
+    ::testing::Combine(::testing::Values(FabricKind::Bus,
+                                         FabricKind::Crossbar),
+                       ::testing::Bool()),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param) == FabricKind::Bus
+                               ? "bus"
+                               : "xbar";
+        name += std::get<1>(info.param) ? "_banked" : "_flat";
+        return name;
+    });
+
+// --- Deblur iteration sweep -------------------------------------------
+
+class DeblurIterSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DeblurIterSweep, StructureAndRuntimeScaleLinearly)
+{
+    AppConfig app_config;
+    app_config.deblurIters = GetParam();
+    DagPtr dag = buildApp(AppId::Deblur, app_config);
+    EXPECT_EQ(dag->numNodes(), 2 + 4 * GetParam());
+    // Compute time: I + G + k * (2C + 2EM).
+    double expected_us =
+        34.88 + 10.26 + double(GetParam()) * (2 * 1545.61 + 2 * 10.94);
+    EXPECT_NEAR(toUs(dag->totalComputeTime()), expected_us, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Iterations, DeblurIterSweep,
+                         ::testing::Values(1, 2, 5, 8));
+
+} // namespace
+} // namespace relief

@@ -1,0 +1,112 @@
+/** @file Unit tests for the ring interconnect. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/soc.hh"
+#include "interconnect/ring.hh"
+#include "sim/logging.hh"
+
+namespace relief
+{
+namespace
+{
+
+class RingTest : public ::testing::Test
+{
+  protected:
+    RingTest()
+    {
+        config.hopLatency = fromNs(1.0);
+        config.linkBandwidthGBs = 1.0;
+    }
+
+    std::unique_ptr<Ring>
+    makeRing(int ports)
+    {
+        auto ring = std::make_unique<Ring>(sim, "ring", config);
+        for (int i = 0; i < ports; ++i)
+            ring->registerPort("p" + std::to_string(i));
+        return ring;
+    }
+
+    Simulator sim;
+    RingConfig config;
+};
+
+TEST_F(RingTest, ShortestDirectionIsChosen)
+{
+    auto ring_ptr = makeRing(6);
+    EXPECT_EQ(ring_ptr->hopCount(0, 1), 1);
+    EXPECT_EQ(ring_ptr->hopCount(0, 3), 3);
+    EXPECT_EQ(ring_ptr->hopCount(0, 5), 1); // counter-clockwise
+    EXPECT_EQ(ring_ptr->hopCount(1, 5), 2);
+}
+
+TEST_F(RingTest, PathLengthEqualsHopCount)
+{
+    auto ring_ptr = makeRing(6);
+    EXPECT_EQ(ring_ptr->path(0, 1).size(), 1u);
+    EXPECT_EQ(ring_ptr->path(0, 3).size(), 3u);
+    EXPECT_EQ(ring_ptr->path(0, 5).size(), 1u);
+    EXPECT_EQ(ring_ptr->path(4, 1).size(), 3u);
+}
+
+TEST_F(RingTest, HopLatencyAccumulates)
+{
+    auto ring_ptr = makeRing(6);
+    auto t = reserveTransfer(ring_ptr->path(0, 3), 0, 100);
+    // 3 hops x 1 ns + 100 B at 1 GB/s.
+    EXPECT_EQ(t.end, fromNs(103.0));
+}
+
+TEST_F(RingTest, DisjointArcsProceedConcurrently)
+{
+    auto ring_ptr = makeRing(6);
+    auto t1 = reserveTransfer(ring_ptr->path(0, 1), 0, 100);
+    auto t2 = reserveTransfer(ring_ptr->path(3, 4), 0, 100);
+    EXPECT_EQ(t1.start, 0u);
+    EXPECT_EQ(t2.start, 0u);
+}
+
+TEST_F(RingTest, OverlappingArcsContend)
+{
+    auto ring_ptr = makeRing(6);
+    auto t1 = reserveTransfer(ring_ptr->path(0, 2), 0, 100);
+    auto t2 = reserveTransfer(ring_ptr->path(1, 2), 0, 100);
+    // Both use the segment between ports 1 and 2 (clockwise).
+    EXPECT_EQ(t1.start, 0u);
+    EXPECT_GE(t2.start, t1.end - fromNs(2.0));
+}
+
+TEST_F(RingTest, OppositeDirectionsDoNotContend)
+{
+    auto ring_ptr = makeRing(4);
+    auto t1 = reserveTransfer(ring_ptr->path(0, 1), 0, 100); // cw on seg 0
+    auto t2 = reserveTransfer(ring_ptr->path(1, 0), 0, 100); // ccw on seg 0
+    EXPECT_EQ(t1.start, 0u);
+    EXPECT_EQ(t2.start, 0u);
+}
+
+TEST_F(RingTest, SelfAndBadPortsPanic)
+{
+    auto ring_ptr = makeRing(3);
+    EXPECT_THROW(ring_ptr->path(0, 0), PanicError);
+    EXPECT_THROW(ring_ptr->path(0, 9), PanicError);
+}
+
+TEST_F(RingTest, WorksAsSocFabric)
+{
+    SocConfig soc_config;
+    soc_config.fabric = FabricKind::Ring;
+    Soc soc(soc_config);
+    DagPtr dag = buildApp(AppId::Canny);
+    soc.submit(dag);
+    soc.run(fromMs(50.0));
+    EXPECT_TRUE(dag->complete());
+    EXPECT_GT(soc.report().fabricOccupancy, 0.0);
+}
+
+} // namespace
+} // namespace relief

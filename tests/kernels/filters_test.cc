@@ -1,0 +1,120 @@
+/** @file Unit tests for convolution and filter factories. */
+
+#include <gtest/gtest.h>
+
+#include "kernels/filters.hh"
+#include "sim/logging.hh"
+
+namespace relief
+{
+namespace
+{
+
+Plane
+ramp(int w, int h)
+{
+    Plane p(w, h);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            p.at(x, y) = float(x + 2 * y);
+    return p;
+}
+
+TEST(FilterTest, SizeLimitsEnforced)
+{
+    EXPECT_THROW(Filter2D(0), PanicError);
+    EXPECT_THROW(Filter2D(6), PanicError);
+    EXPECT_NO_THROW(Filter2D(5));
+}
+
+TEST(FilterTest, GaussianIsNormalizedAndPeaked)
+{
+    for (int size : {3, 5}) {
+        Filter2D g = gaussianFilter(size);
+        EXPECT_NEAR(g.tapSum(), 1.0f, 1e-5);
+        int c = size / 2;
+        for (int y = 0; y < size; ++y)
+            for (int x = 0; x < size; ++x)
+                EXPECT_LE(g.at(x, y), g.at(c, c));
+    }
+}
+
+TEST(FilterTest, BoxIsUniform)
+{
+    Filter2D box = boxFilter(3);
+    EXPECT_NEAR(box.tapSum(), 1.0f, 1e-6);
+    EXPECT_FLOAT_EQ(box.at(0, 0), box.at(2, 2));
+}
+
+TEST(FilterTest, SobelTapsSumToZero)
+{
+    EXPECT_FLOAT_EQ(sobelX().tapSum(), 0.0f);
+    EXPECT_FLOAT_EQ(sobelY().tapSum(), 0.0f);
+}
+
+TEST(FilterTest, FlippedRotates180)
+{
+    Filter2D f(3);
+    f.at(0, 0) = 1.0f;
+    f.at(2, 1) = 5.0f;
+    Filter2D g = f.flipped();
+    EXPECT_FLOAT_EQ(g.at(2, 2), 1.0f);
+    EXPECT_FLOAT_EQ(g.at(0, 1), 5.0f);
+    // Double flip is identity.
+    Filter2D h = g.flipped();
+    EXPECT_FLOAT_EQ(h.at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(h.at(2, 1), 5.0f);
+}
+
+TEST(ConvolveTest, IdentityFilterPreservesImage)
+{
+    Plane img = ramp(8, 8);
+    Plane out = convolve(img, identityFilter(3));
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+            EXPECT_FLOAT_EQ(out.at(x, y), img.at(x, y));
+}
+
+TEST(ConvolveTest, BoxFilterOnConstantIsConstant)
+{
+    Plane img(8, 8, 3.5f);
+    Plane out = convolve(img, boxFilter(5));
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+            EXPECT_NEAR(out.at(x, y), 3.5f, 1e-5);
+}
+
+TEST(ConvolveTest, SobelXDetectsHorizontalGradient)
+{
+    // f(x, y) = x has constant d/dx; Sobel-X responds with 8 (sum of
+    // positive taps times unit step, doubled across two columns).
+    Plane img(8, 8);
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+            img.at(x, y) = float(x);
+    Plane gx = convolve(img, sobelX());
+    Plane gy = convolve(img, sobelY());
+    EXPECT_NEAR(gx.at(4, 4), 8.0f, 1e-4);
+    EXPECT_NEAR(gy.at(4, 4), 0.0f, 1e-4);
+}
+
+TEST(ConvolveTest, GaussianSmoothsAnImpulse)
+{
+    Plane img(9, 9, 0.0f);
+    img.at(4, 4) = 1.0f;
+    Plane out = convolve(img, gaussianFilter(5));
+    EXPECT_GT(out.at(4, 4), out.at(3, 4));
+    EXPECT_GT(out.at(3, 4), out.at(2, 4));
+    EXPECT_NEAR(out.sum(), 1.0, 1e-4); // energy preserved
+}
+
+TEST(ConvolveTest, BorderClampingKeepsRange)
+{
+    Plane img = ramp(8, 8);
+    Plane out = convolve(img, boxFilter(5));
+    EXPECT_GE(out.minValue(), img.minValue());
+    EXPECT_LE(out.maxValue(), img.maxValue());
+}
+
+} // namespace
+} // namespace relief

@@ -1,0 +1,94 @@
+/** @file Unit tests for image containers and the synthetic scene. */
+
+#include <gtest/gtest.h>
+
+#include "kernels/image.hh"
+
+namespace relief
+{
+namespace
+{
+
+TEST(PlaneTest, ConstructsWithFill)
+{
+    Plane p(4, 3, 2.0f);
+    EXPECT_EQ(p.width(), 4);
+    EXPECT_EQ(p.height(), 3);
+    EXPECT_EQ(p.size(), 12u);
+    EXPECT_FLOAT_EQ(p.at(3, 2), 2.0f);
+}
+
+TEST(PlaneTest, RowMajorAddressing)
+{
+    Plane p(3, 2);
+    p.data() = {0, 1, 2, 3, 4, 5};
+    EXPECT_FLOAT_EQ(p.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(p.at(2, 0), 2.0f);
+    EXPECT_FLOAT_EQ(p.at(0, 1), 3.0f);
+    EXPECT_FLOAT_EQ(p.at(2, 1), 5.0f);
+}
+
+TEST(PlaneTest, ClampedAccessAtBorders)
+{
+    Plane p(2, 2);
+    p.data() = {1, 2, 3, 4};
+    EXPECT_FLOAT_EQ(p.clampedAt(-5, -5), 1.0f);
+    EXPECT_FLOAT_EQ(p.clampedAt(10, 0), 2.0f);
+    EXPECT_FLOAT_EQ(p.clampedAt(0, 10), 3.0f);
+    EXPECT_FLOAT_EQ(p.clampedAt(10, 10), 4.0f);
+}
+
+TEST(PlaneTest, Statistics)
+{
+    Plane p(2, 2);
+    p.data() = {-1.0f, 2.0f, 3.0f, 4.0f};
+    EXPECT_FLOAT_EQ(p.minValue(), -1.0f);
+    EXPECT_FLOAT_EQ(p.maxValue(), 4.0f);
+    EXPECT_DOUBLE_EQ(p.sum(), 8.0);
+}
+
+TEST(PlaneTest, SameShape)
+{
+    EXPECT_TRUE(Plane(3, 4).sameShape(Plane(3, 4)));
+    EXPECT_FALSE(Plane(3, 4).sameShape(Plane(4, 3)));
+}
+
+TEST(RgbImageTest, AllPlanesShareShape)
+{
+    RgbImage img(5, 7);
+    EXPECT_EQ(img.width(), 5);
+    EXPECT_EQ(img.height(), 7);
+    EXPECT_TRUE(img.r.sameShape(img.g));
+    EXPECT_TRUE(img.g.sameShape(img.b));
+}
+
+TEST(SyntheticSceneTest, DeterministicForSameSeed)
+{
+    BayerImage a = makeSyntheticScene(64, 64, 42);
+    BayerImage b = makeSyntheticScene(64, 64, 42);
+    EXPECT_EQ(a.data, b.data);
+}
+
+TEST(SyntheticSceneTest, DifferentSeedsDiffer)
+{
+    BayerImage a = makeSyntheticScene(64, 64, 1);
+    BayerImage b = makeSyntheticScene(64, 64, 2);
+    EXPECT_NE(a.data, b.data);
+}
+
+TEST(SyntheticSceneTest, SamplesWithinSensorRange)
+{
+    BayerImage img = makeSyntheticScene(128, 128, 7);
+    for (auto v : img.data)
+        EXPECT_LE(v, 4095);
+}
+
+TEST(SyntheticSceneTest, ContainsBrightAndDarkRegions)
+{
+    BayerImage img = makeSyntheticScene(128, 128, 7);
+    // Inside the bright rectangle vs inside the dark disc.
+    EXPECT_GT(img.at(30, 30), img.at(96, 96));
+}
+
+} // namespace
+} // namespace relief

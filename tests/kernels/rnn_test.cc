@@ -1,0 +1,159 @@
+/** @file Unit tests for the elementwise GRU/LSTM cells. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/rnn.hh"
+#include "sim/logging.hh"
+
+namespace relief
+{
+namespace
+{
+
+std::vector<Vec>
+makeSequence(int len, int hidden, std::uint32_t seed)
+{
+    std::uint32_t rng = seed;
+    std::vector<Vec> xs;
+    for (int t = 0; t < len; ++t) {
+        Vec x(std::size_t(hidden), 0.0f);
+        for (auto &v : x) {
+            rng = rng * 1664525u + 1013904223u;
+            v = float(rng % 1000) / 1000.0f - 0.5f;
+        }
+        xs.push_back(x);
+    }
+    return xs;
+}
+
+TEST(RnnWeightsTest, DeterministicAndBounded)
+{
+    GruWeights a = makeGruWeights(16, 9);
+    GruWeights b = makeGruWeights(16, 9);
+    EXPECT_EQ(a.wz, b.wz);
+    EXPECT_EQ(a.uc, b.uc);
+    for (float v : a.wz) {
+        EXPECT_GE(v, -0.5f);
+        EXPECT_LE(v, 0.5f);
+    }
+    EXPECT_EQ(a.wz.size(), 16u);
+}
+
+TEST(GruTest, StepKeepsStateBounded)
+{
+    GruWeights w = makeGruWeights(32, 3);
+    Vec h(32, 0.0f);
+    for (const Vec &x : makeSequence(10, 32, 11)) {
+        h = gruStep(x, h, w);
+        for (float v : h) {
+            EXPECT_GE(v, -1.0f);
+            EXPECT_LE(v, 1.0f);
+        }
+    }
+}
+
+TEST(GruTest, ZeroStateStepUsesOnlyInputPath)
+{
+    // With h = 0: z = sigmoid(wz*x + bz), c = tanh(wc*x + bc),
+    // h' = z * c — verify one element by hand.
+    GruWeights w = makeGruWeights(4, 5);
+    Vec x = {0.3f, -0.2f, 0.8f, 0.0f};
+    Vec h(4, 0.0f);
+    Vec out = gruStep(x, h, w);
+    for (int i = 0; i < 4; ++i) {
+        float z = 1.0f / (1.0f + std::exp(-(w.wz[std::size_t(i)] *
+                                                x[std::size_t(i)] +
+                                            w.bz[std::size_t(i)])));
+        float c = std::tanh(w.wc[std::size_t(i)] * x[std::size_t(i)] +
+                            w.bc[std::size_t(i)]);
+        EXPECT_NEAR(out[std::size_t(i)], z * c, 1e-5);
+    }
+}
+
+TEST(GruTest, SequenceEqualsManualStepping)
+{
+    GruWeights w = makeGruWeights(8, 21);
+    auto xs = makeSequence(5, 8, 33);
+    Vec manual(8, 0.0f);
+    for (const Vec &x : xs)
+        manual = gruStep(x, manual, w);
+    EXPECT_EQ(gruSequence(xs, w), manual);
+}
+
+TEST(GruTest, SizeMismatchPanics)
+{
+    GruWeights w = makeGruWeights(8, 2);
+    Vec x(8, 0.0f), h(4, 0.0f);
+    EXPECT_THROW(gruStep(x, h, w), PanicError);
+}
+
+TEST(LstmTest, StepKeepsHiddenBounded)
+{
+    LstmWeights w = makeLstmWeights(32, 4);
+    LstmState s;
+    s.h.assign(32, 0.0f);
+    s.c.assign(32, 0.0f);
+    for (const Vec &x : makeSequence(10, 32, 12)) {
+        s = lstmStep(x, s, w);
+        for (float v : s.h) {
+            EXPECT_GE(v, -1.0f);
+            EXPECT_LE(v, 1.0f);
+        }
+    }
+}
+
+TEST(LstmTest, ZeroStateStepMatchesHandComputation)
+{
+    LstmWeights w = makeLstmWeights(4, 6);
+    Vec x = {0.5f, -0.1f, 0.2f, 0.9f};
+    LstmState s;
+    s.h.assign(4, 0.0f);
+    s.c.assign(4, 0.0f);
+    LstmState out = lstmStep(x, s, w);
+    for (int idx = 0; idx < 4; ++idx) {
+        std::size_t i = std::size_t(idx);
+        auto sig = [](float v) { return 1.0f / (1.0f + std::exp(-v)); };
+        float ii = sig(w.wi[i] * x[i] + w.bi[i]);
+        float oo = sig(w.wo[i] * x[i] + w.bo[i]);
+        float gg = std::tanh(w.wc[i] * x[i] + w.bc[i]);
+        float cc = ii * gg; // f * c_0 = 0
+        EXPECT_NEAR(out.c[i], cc, 1e-5);
+        EXPECT_NEAR(out.h[i], oo * std::tanh(cc), 1e-5);
+    }
+}
+
+TEST(LstmTest, SequenceEqualsManualStepping)
+{
+    LstmWeights w = makeLstmWeights(8, 31);
+    auto xs = makeSequence(6, 8, 44);
+    LstmState manual;
+    manual.h.assign(8, 0.0f);
+    manual.c.assign(8, 0.0f);
+    for (const Vec &x : xs)
+        manual = lstmStep(x, manual, w);
+    LstmState seq = lstmSequence(xs, w);
+    EXPECT_EQ(seq.h, manual.h);
+    EXPECT_EQ(seq.c, manual.c);
+}
+
+TEST(LstmTest, ForgetGateCarriesState)
+{
+    // Two different inputs must generally produce different cells.
+    LstmWeights w = makeLstmWeights(8, 13);
+    auto xs1 = makeSequence(4, 8, 1);
+    auto xs2 = makeSequence(4, 8, 2);
+    EXPECT_NE(lstmSequence(xs1, w).c, lstmSequence(xs2, w).c);
+}
+
+TEST(RnnTest, EmptySequencePanics)
+{
+    GruWeights gw = makeGruWeights(4, 1);
+    LstmWeights lw = makeLstmWeights(4, 1);
+    EXPECT_THROW(gruSequence({}, gw), PanicError);
+    EXPECT_THROW(lstmSequence({}, lw), PanicError);
+}
+
+} // namespace
+} // namespace relief

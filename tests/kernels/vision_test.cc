@@ -1,0 +1,234 @@
+/** @file Unit tests for the vision kernels and reference pipelines. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/elemwise.hh"
+#include "kernels/vision.hh"
+#include "sim/logging.hh"
+
+namespace relief
+{
+namespace
+{
+
+TEST(IspTest, OutputsNormalizedRgb)
+{
+    BayerImage raw = makeSyntheticScene(64, 64, 3);
+    RgbImage rgb = isp(raw);
+    EXPECT_EQ(rgb.width(), 64);
+    EXPECT_EQ(rgb.height(), 64);
+    for (const Plane *p : {&rgb.r, &rgb.g, &rgb.b}) {
+        EXPECT_GE(p->minValue(), 0.0f);
+        EXPECT_LE(p->maxValue(), 1.0f);
+    }
+}
+
+TEST(IspTest, BrightRegionStaysBright)
+{
+    BayerImage raw = makeSyntheticScene(128, 128, 3);
+    RgbImage rgb = isp(raw);
+    // Rectangle (bright yellow-ish) vs disc (dark blue-ish).
+    EXPECT_GT(rgb.r.at(30, 30), rgb.r.at(96, 96));
+    EXPECT_GT(rgb.g.at(30, 30), rgb.g.at(96, 96));
+}
+
+TEST(GrayscaleTest, MatchesLumaFormula)
+{
+    RgbImage rgb(2, 1);
+    rgb.r.at(0, 0) = 1.0f;
+    rgb.g.at(1, 0) = 1.0f;
+    Plane gray = grayscale(rgb);
+    EXPECT_NEAR(gray.at(0, 0), 0.299f, 1e-5);
+    EXPECT_NEAR(gray.at(1, 0), 0.587f, 1e-5);
+}
+
+TEST(GrayscaleTest, GrayInputIsIdentity)
+{
+    RgbImage rgb(4, 4);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x) {
+            rgb.r.at(x, y) = 0.5f;
+            rgb.g.at(x, y) = 0.5f;
+            rgb.b.at(x, y) = 0.5f;
+        }
+    Plane gray = grayscale(rgb);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+            EXPECT_NEAR(gray.at(x, y), 0.5f, 1e-5);
+}
+
+TEST(CannyNonMaxTest, SuppressesNonPeaks)
+{
+    // Vertical edge: magnitude ridge along x = 2, gradient pointing in
+    // +x (direction 0) — neighbors across the ridge must be removed.
+    Plane mag(5, 5, 0.0f);
+    for (int y = 0; y < 5; ++y) {
+        mag.at(1, y) = 0.5f;
+        mag.at(2, y) = 1.0f;
+        mag.at(3, y) = 0.5f;
+    }
+    Plane dir(5, 5, 0.0f); // atan2(0, positive) = 0 -> horizontal check
+    Plane out = cannyNonMax(mag, dir);
+    for (int y = 1; y < 4; ++y) {
+        EXPECT_FLOAT_EQ(out.at(2, y), 1.0f);
+        EXPECT_FLOAT_EQ(out.at(1, y), 0.0f);
+        EXPECT_FLOAT_EQ(out.at(3, y), 0.0f);
+    }
+}
+
+TEST(CannyNonMaxTest, DirectionQuantizationUsesPerpendicularAxis)
+{
+    // Gradient pointing in +y (angle pi/2): compare along y.
+    Plane mag(3, 5, 0.0f);
+    mag.at(1, 1) = 0.5f;
+    mag.at(1, 2) = 1.0f;
+    mag.at(1, 3) = 0.5f;
+    Plane dir(3, 5, float(M_PI / 2.0));
+    Plane out = cannyNonMax(mag, dir);
+    EXPECT_FLOAT_EQ(out.at(1, 2), 1.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 1), 0.0f);
+}
+
+TEST(EdgeTrackingTest, HysteresisConnectsWeakToStrong)
+{
+    Plane nms(7, 1, 0.0f);
+    nms.at(0, 0) = 1.0f;  // strong
+    nms.at(1, 0) = 0.08f; // weak, connected to strong
+    nms.at(2, 0) = 0.08f; // weak, connected transitively
+    nms.at(5, 0) = 0.08f; // weak, isolated
+    Plane out = edgeTracking(nms, 0.05f, 0.15f);
+    EXPECT_FLOAT_EQ(out.at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 0), 1.0f);
+    EXPECT_FLOAT_EQ(out.at(2, 0), 1.0f);
+    EXPECT_FLOAT_EQ(out.at(5, 0), 0.0f);
+}
+
+TEST(EdgeTrackingTest, BadThresholdsPanic)
+{
+    Plane nms(4, 4, 0.0f);
+    EXPECT_THROW(edgeTracking(nms, 0.5f, 0.1f), PanicError);
+}
+
+TEST(EdgeTrackingTest, OutputIsBinary)
+{
+    BayerImage raw = makeSyntheticScene(64, 64, 5);
+    Plane gray = grayscale(isp(raw));
+    Plane out = edgeTracking(gray, 0.3f, 0.6f);
+    for (float v : out.data())
+        EXPECT_TRUE(v == 0.0f || v == 1.0f);
+}
+
+TEST(HarrisNonMaxTest, KeepsOnlyLocalMaxima)
+{
+    Plane resp(5, 5, 0.1f);
+    resp.at(2, 2) = 1.0f;
+    Plane out = harrisNonMax(resp);
+    EXPECT_FLOAT_EQ(out.at(2, 2), 1.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 2), 0.0f);
+    // A plateau of equal values survives (>=, not >): corners of the
+    // uniform border region away from the peak are their own maxima.
+    EXPECT_FLOAT_EQ(out.at(0, 4), 0.1f);
+}
+
+TEST(HarrisNonMaxTest, NegativeResponsesSuppressed)
+{
+    Plane resp(3, 3, -1.0f);
+    Plane out = harrisNonMax(resp);
+    for (float v : out.data())
+        EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(CannyReferenceTest, FindsEdgesOfSyntheticScene)
+{
+    BayerImage raw = makeSyntheticScene(128, 128, 1);
+    Plane edges = cannyReference(raw);
+    int active = 0;
+    for (float v : edges.data())
+        active += v != 0.0f;
+    // The scene has a rectangle and a disc: a few hundred edge pixels,
+    // far fewer than half the image.
+    EXPECT_GT(active, 100);
+    EXPECT_LT(active, 16384 / 2);
+}
+
+TEST(CannyReferenceTest, EdgePixelsLieNearShapeBoundaries)
+{
+    BayerImage raw = makeSyntheticScene(128, 128, 1);
+    Plane edges = cannyReference(raw);
+    // The rectangle's left boundary at x = 16 spans y in [16, 64).
+    int near_boundary = 0;
+    for (int y = 20; y < 60; ++y)
+        for (int x = 14; x <= 18; ++x)
+            near_boundary += edges.at(x, y) != 0.0f;
+    EXPECT_GT(near_boundary, 20);
+}
+
+TEST(HarrisReferenceTest, RespondsNearRectangleCorners)
+{
+    BayerImage raw = makeSyntheticScene(128, 128, 1);
+    Plane corners = harrisReference(raw);
+    auto region_max = [&](int cx, int cy) {
+        float best = 0.0f;
+        for (int y = cy - 5; y <= cy + 5; ++y)
+            for (int x = cx - 5; x <= cx + 5; ++x)
+                best = std::max(best, corners.clampedAt(x, y));
+        return best;
+    };
+    // Rectangle corners at (16,16), (64,16), (16,64), (64,64).
+    EXPECT_GT(region_max(16, 16), 0.0f);
+    EXPECT_GT(region_max(64, 64), 0.0f);
+    // Flat interior has (numerically) negligible corner response —
+    // orders of magnitude below the real corners.
+    EXPECT_LT(region_max(40, 40), region_max(16, 16) * 1e-3f);
+}
+
+TEST(RichardsonLucyTest, SharpensABlurredImage)
+{
+    // Blur a synthetic scene, deconvolve, and check the result is
+    // closer to the original than the blurred input was.
+    BayerImage raw = makeSyntheticScene(64, 64, 9);
+    Plane truth = grayscale(isp(raw));
+    Filter2D psf = gaussianFilter(5, 1.2f);
+    Plane blurred = convolve(truth, psf);
+    Plane restored = richardsonLucy(blurred, psf, 10);
+
+    auto mse = [&](const Plane &a) {
+        double err = 0.0;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            double d = double(a.data()[i]) - double(truth.data()[i]);
+            err += d * d;
+        }
+        return err / double(a.size());
+    };
+    EXPECT_LT(mse(restored), mse(blurred) * 0.8);
+}
+
+TEST(RichardsonLucyTest, MoreIterationsDoNotHurtEarly)
+{
+    BayerImage raw = makeSyntheticScene(64, 64, 9);
+    Plane truth = grayscale(isp(raw));
+    Filter2D psf = gaussianFilter(5, 1.2f);
+    Plane blurred = convolve(truth, psf);
+    auto mse = [&](const Plane &a) {
+        double err = 0.0;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            double d = double(a.data()[i]) - double(truth.data()[i]);
+            err += d * d;
+        }
+        return err / double(a.size());
+    };
+    double e1 = mse(richardsonLucy(blurred, psf, 1));
+    double e5 = mse(richardsonLucy(blurred, psf, 5));
+    EXPECT_LT(e5, e1);
+}
+
+TEST(RichardsonLucyTest, ZeroIterationsPanics)
+{
+    Plane img(4, 4, 0.5f);
+    EXPECT_THROW(richardsonLucy(img, gaussianFilter(3), 0), PanicError);
+}
+
+} // namespace
+} // namespace relief

@@ -1,0 +1,112 @@
+/** @file Unit tests for the pipelined bandwidth-server model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/bandwidth_resource.hh"
+#include "sim/logging.hh"
+
+namespace relief
+{
+namespace
+{
+
+TEST(BandwidthResourceTest, HoldTimeIsLatencyPlusBytesOverBandwidth)
+{
+    BandwidthResource res("r", 1.0, fromNs(10.0)); // 1 B/ns
+    EXPECT_EQ(res.holdTime(100), fromNs(110.0));
+}
+
+TEST(BandwidthResourceTest, BackToBackClaimsQueueFifo)
+{
+    BandwidthResource res("r", 1.0, 0);
+    Tick s1 = res.claim(0, 100);
+    Tick s2 = res.claim(0, 50);
+    EXPECT_EQ(s1, 0u);
+    EXPECT_EQ(s2, fromNs(100.0)); // waits for the first transfer
+    EXPECT_EQ(res.nextFree(), fromNs(150.0));
+}
+
+TEST(BandwidthResourceTest, IdleGapsAreRespected)
+{
+    BandwidthResource res("r", 1.0, 0);
+    res.claim(0, 100);
+    Tick s = res.claim(fromNs(500.0), 100);
+    EXPECT_EQ(s, fromNs(500.0));
+}
+
+TEST(BandwidthResourceTest, TracksBytesAndTransfers)
+{
+    BandwidthResource res("r", 2.0, 0);
+    res.claim(0, 100);
+    res.claim(0, 200);
+    EXPECT_EQ(res.totalBytes(), 300u);
+    EXPECT_EQ(res.numTransfers(), 2u);
+}
+
+TEST(BandwidthResourceTest, OccupancyCountsBusyFraction)
+{
+    BandwidthResource res("r", 1.0, 0); // 1 B/ns
+    res.claim(0, 100); // busy [0, 100ns)
+    EXPECT_DOUBLE_EQ(res.occupancy(fromNs(200.0)), 0.5);
+    EXPECT_DOUBLE_EQ(res.occupancy(fromNs(100.0)), 1.0);
+}
+
+TEST(BandwidthResourceTest, ZeroBandwidthIsRejected)
+{
+    EXPECT_THROW(BandwidthResource("bad", 0.0, 0), PanicError);
+}
+
+TEST(BandwidthResourceTest, ResetStatsKeepsTimeline)
+{
+    BandwidthResource res("r", 1.0, 0);
+    res.claim(0, 100);
+    res.resetStats();
+    EXPECT_EQ(res.totalBytes(), 0u);
+    // The reservation timeline is preserved: new claims still queue.
+    EXPECT_EQ(res.claim(0, 10), fromNs(100.0));
+}
+
+TEST(ReserveTransferTest, BottleneckSetsDuration)
+{
+    BandwidthResource fast("fast", 10.0, 0);
+    BandwidthResource slow("slow", 1.0, 0);
+    auto timing = reserveTransfer({&fast, &slow}, 0, 100);
+    EXPECT_EQ(timing.start, 0u);
+    EXPECT_EQ(timing.end, fromNs(100.0)); // limited by 1 GB/s
+}
+
+TEST(ReserveTransferTest, LatenciesAccumulate)
+{
+    BandwidthResource a("a", 1.0, fromNs(10.0));
+    BandwidthResource b("b", 1.0, fromNs(30.0));
+    auto timing = reserveTransfer({&a, &b}, 0, 100);
+    EXPECT_EQ(timing.end, fromNs(140.0));
+}
+
+TEST(ReserveTransferTest, StartWaitsForBusiestResource)
+{
+    BandwidthResource a("a", 1.0, 0);
+    BandwidthResource b("b", 1.0, 0);
+    a.claim(0, 500); // a busy until 500 ns
+    auto timing = reserveTransfer({&a, &b}, 0, 100);
+    EXPECT_EQ(timing.start, fromNs(500.0));
+    EXPECT_EQ(timing.end, fromNs(600.0));
+}
+
+TEST(ReserveTransferTest, EachResourceChargedItsOwnRate)
+{
+    BandwidthResource fast("fast", 10.0, 0);
+    BandwidthResource slow("slow", 1.0, 0);
+    reserveTransfer({&fast, &slow}, 0, 100);
+    // The fast resource frees up earlier than the slow one.
+    EXPECT_EQ(fast.nextFree(), fromNs(10.0));
+    EXPECT_EQ(slow.nextFree(), fromNs(100.0));
+}
+
+TEST(ReserveTransferTest, EmptyPathPanics)
+{
+    EXPECT_THROW(reserveTransfer({}, 0, 10), PanicError);
+}
+
+} // namespace
+} // namespace relief

@@ -1,0 +1,83 @@
+/** @file Unit tests for the bandwidth predictors (Table VIII schemes). */
+
+#include <gtest/gtest.h>
+
+#include "predict/bandwidth_predictor.hh"
+
+namespace relief
+{
+namespace
+{
+
+TEST(BwPredictorTest, MaxAlwaysPredictsMax)
+{
+    BandwidthPredictor p(BwPredictorKind::Max, 12.8);
+    EXPECT_DOUBLE_EQ(p.predict(), 12.8);
+    p.observe(3.0);
+    p.observe(4.0);
+    EXPECT_DOUBLE_EQ(p.predict(), 12.8);
+}
+
+TEST(BwPredictorTest, LastTracksMostRecent)
+{
+    BandwidthPredictor p(BwPredictorKind::Last, 12.8);
+    EXPECT_DOUBLE_EQ(p.predict(), 12.8); // no samples yet
+    p.observe(5.0);
+    EXPECT_DOUBLE_EQ(p.predict(), 5.0);
+    p.observe(7.5);
+    EXPECT_DOUBLE_EQ(p.predict(), 7.5);
+}
+
+TEST(BwPredictorTest, AverageOverWindow)
+{
+    BandwidthPredictor p(BwPredictorKind::Average, 12.8, 3);
+    p.observe(2.0);
+    p.observe(4.0);
+    EXPECT_DOUBLE_EQ(p.predict(), 3.0);
+    p.observe(6.0);
+    EXPECT_DOUBLE_EQ(p.predict(), 4.0);
+    // Window slides: the 2.0 sample falls out.
+    p.observe(8.0);
+    EXPECT_DOUBLE_EQ(p.predict(), 6.0);
+}
+
+TEST(BwPredictorTest, AverageDefaultsToPaperWindow)
+{
+    BandwidthPredictor p(BwPredictorKind::Average, 12.8);
+    for (int i = 0; i < 15; ++i)
+        p.observe(4.0);
+    p.observe(8.0); // evicts one 4.0 from the n=15 window
+    EXPECT_NEAR(p.predict(), (14 * 4.0 + 8.0) / 15.0, 1e-12);
+}
+
+TEST(BwPredictorTest, EwmaFollowsPaperEquation)
+{
+    BandwidthPredictor p(BwPredictorKind::Ewma, 12.8, 15, 0.25);
+    // pred starts at max; pred' = 0.25*bw + 0.75*pred.
+    p.observe(4.0);
+    EXPECT_DOUBLE_EQ(p.predict(), 0.25 * 4.0 + 0.75 * 12.8);
+    double prev = p.predict();
+    p.observe(6.0);
+    EXPECT_DOUBLE_EQ(p.predict(), 0.25 * 6.0 + 0.75 * prev);
+}
+
+TEST(BwPredictorTest, IgnoresNonPositiveSamples)
+{
+    BandwidthPredictor p(BwPredictorKind::Last, 12.8);
+    p.observe(5.0);
+    p.observe(0.0);
+    p.observe(-2.0);
+    EXPECT_DOUBLE_EQ(p.predict(), 5.0);
+    EXPECT_EQ(p.numObservations(), 1u);
+}
+
+TEST(BwPredictorTest, Names)
+{
+    EXPECT_STREQ(bwPredictorName(BwPredictorKind::Max), "Max");
+    EXPECT_STREQ(bwPredictorName(BwPredictorKind::Last), "Last");
+    EXPECT_STREQ(bwPredictorName(BwPredictorKind::Average), "Average");
+    EXPECT_STREQ(bwPredictorName(BwPredictorKind::Ewma), "EWMA");
+}
+
+} // namespace
+} // namespace relief

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Property-based invariant tests: randomly generated DAGs are executed
+ * under every policy, and structural invariants of the runtime must
+ * hold regardless of shape, policy, or contention:
+ *
+ *  - every node completes, after all of its parents;
+ *  - edge accounting is conserved (forward + colocation + DRAM);
+ *  - colocations only on same-type edges;
+ *  - DRAM traffic never exceeds the all-DRAM baseline, and equals it
+ *    when forwarding is disabled;
+ *  - simulations are deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/soc.hh"
+#include "dag/dag.hh"
+#include "sched/oracle.hh"
+
+namespace relief
+{
+namespace
+{
+
+/** xorshift PRNG for reproducible random DAGs. */
+struct Rng
+{
+    std::uint32_t state;
+    explicit Rng(std::uint32_t seed) : state(seed ? seed : 1u) {}
+    std::uint32_t
+    next()
+    {
+        state ^= state << 13;
+        state ^= state >> 17;
+        state ^= state << 5;
+        return state;
+    }
+    int
+    range(int lo, int hi) // inclusive
+    {
+        return lo + int(next() % std::uint32_t(hi - lo + 1));
+    }
+};
+
+/** Random DAG: layered, mixed accelerator types, tiny fixed runtimes. */
+DagPtr
+randomDag(std::uint32_t seed)
+{
+    Rng rng(seed);
+    auto dag = std::make_shared<Dag>("rand" + std::to_string(seed), 'R');
+    int layers = rng.range(2, 5);
+    std::vector<Node *> prev_layer;
+    int counter = 0;
+    for (int layer = 0; layer < layers; ++layer) {
+        int width = rng.range(1, 4);
+        std::vector<Node *> this_layer;
+        for (int i = 0; i < width; ++i) {
+            TaskParams p;
+            p.type = allAccTypes[std::size_t(rng.range(0, 6))];
+            p.elems = 256;
+            int max_parents = int(prev_layer.size());
+            int parents = layer == 0 ? 0 : rng.range(1,
+                                                     std::min(2,
+                                                              max_parents));
+            p.numInputs = std::max(1, parents);
+            Node *n = dag->addNode(p, "n" + std::to_string(counter++));
+            n->fixedRuntime = fromUs(double(rng.range(20, 200)));
+            // Pick distinct parents from the previous layer.
+            std::vector<Node *> pool = prev_layer;
+            for (int e = 0; e < parents && !pool.empty(); ++e) {
+                std::size_t idx =
+                    std::size_t(rng.range(0, int(pool.size()) - 1));
+                dag->addEdge(pool[idx], n);
+                pool.erase(pool.begin() + long(idx));
+            }
+            this_layer.push_back(n);
+        }
+        prev_layer = this_layer;
+    }
+    dag->setRelativeDeadline(fromMs(double(rng.range(2, 20))));
+    dag->finalize();
+    return dag;
+}
+
+struct RunResult
+{
+    MetricsReport report;
+    std::vector<DagPtr> dags;
+};
+
+RunResult
+runRandom(std::uint32_t seed, PolicyKind policy, bool forwarding = true)
+{
+    SocConfig config;
+    config.policy = policy;
+    config.manager.computeJitter = 0.0;
+    config.manager.forwardingEnabled = forwarding;
+    Soc soc(config);
+    RunResult result;
+    Rng rng(seed * 977u);
+    int num_dags = rng.range(1, 3);
+    for (int i = 0; i < num_dags; ++i) {
+        DagPtr dag = randomDag(seed + std::uint32_t(i) * 101u);
+        soc.submit(dag);
+        result.dags.push_back(dag);
+    }
+    soc.run(fromMs(200.0));
+    result.report = soc.report();
+    return result;
+}
+
+class InvariantTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t,
+                                                 PolicyKind>>
+{
+};
+
+TEST_P(InvariantTest, AllNodesCompleteAfterTheirParents)
+{
+    auto [seed, policy] = GetParam();
+    RunResult result = runRandom(seed, policy);
+    for (const DagPtr &dag : result.dags) {
+        ASSERT_TRUE(dag->complete()) << dag->name();
+        for (Node *node : dag->allNodes()) {
+            EXPECT_EQ(node->status, NodeStatus::Finished);
+            EXPECT_GT(node->finishedAt, node->launchedAt);
+            EXPECT_GE(node->launchedAt, node->readyAt);
+            for (Node *parent : node->parents)
+                EXPECT_GE(node->launchedAt, parent->finishedAt);
+        }
+    }
+}
+
+TEST_P(InvariantTest, EdgeAccountingConserved)
+{
+    auto [seed, policy] = GetParam();
+    RunResult result = runRandom(seed, policy);
+    std::uint64_t edges = 0;
+    for (const DagPtr &dag : result.dags)
+        edges += std::uint64_t(dag->numEdges());
+    const RunMetrics &m = result.report.run;
+    EXPECT_EQ(m.edgesConsumed, edges);
+    EXPECT_EQ(m.forwards + m.colocations + m.dramEdges, edges);
+}
+
+TEST_P(InvariantTest, ColocationsOnlyOnSameTypeEdges)
+{
+    auto [seed, policy] = GetParam();
+    RunResult result = runRandom(seed, policy);
+    for (const DagPtr &dag : result.dags) {
+        for (Node *node : dag->allNodes()) {
+            for (std::size_t i = 0; i < node->parents.size(); ++i) {
+                if (node->inputSources[i] == InputSource::Colocated) {
+                    EXPECT_EQ(node->parents[i]->params.type,
+                              node->params.type)
+                        << node->label;
+                }
+            }
+        }
+    }
+}
+
+TEST_P(InvariantTest, DramTrafficBoundedByBaseline)
+{
+    auto [seed, policy] = GetParam();
+    RunResult result = runRandom(seed, policy);
+    EXPECT_LE(result.report.dramBytes, result.report.run.baselineBytes);
+}
+
+TEST_P(InvariantTest, ForwardingOffMovesEverythingThroughDram)
+{
+    auto [seed, policy] = GetParam();
+    RunResult result = runRandom(seed, policy, /* forwarding */ false);
+    EXPECT_EQ(result.report.dramBytes, result.report.run.baselineBytes);
+    EXPECT_EQ(result.report.run.forwards, 0u);
+    EXPECT_EQ(result.report.run.colocations, 0u);
+    EXPECT_EQ(result.report.spmForwardBytes, 0u);
+}
+
+TEST_P(InvariantTest, DeterministicReplay)
+{
+    auto [seed, policy] = GetParam();
+    RunResult a = runRandom(seed, policy);
+    RunResult b = runRandom(seed, policy);
+    EXPECT_EQ(a.report.execTime, b.report.execTime);
+    EXPECT_EQ(a.report.dramBytes, b.report.dramBytes);
+    EXPECT_EQ(a.report.run.forwards, b.report.run.forwards);
+    EXPECT_EQ(a.report.run.colocations, b.report.run.colocations);
+    EXPECT_EQ(a.report.run.nodeDeadlinesMet, b.report.run.nodeDeadlinesMet);
+}
+
+TEST_P(InvariantTest, BankedMemoryPreservesInvariants)
+{
+    auto [seed, policy] = GetParam();
+    SocConfig config;
+    config.policy = policy;
+    config.manager.computeJitter = 0.0;
+    config.bankedMemory = true;
+    Soc soc(config);
+    std::vector<DagPtr> dags;
+    for (int i = 0; i < 2; ++i) {
+        DagPtr dag = randomDag(seed + std::uint32_t(i) * 313u);
+        soc.submit(dag);
+        dags.push_back(dag);
+    }
+    soc.run(fromMs(200.0));
+    MetricsReport r = soc.report();
+    std::uint64_t edges = 0;
+    for (const DagPtr &dag : dags) {
+        EXPECT_TRUE(dag->complete());
+        edges += std::uint64_t(dag->numEdges());
+    }
+    EXPECT_EQ(r.run.forwards + r.run.colocations + r.run.dramEdges,
+              edges);
+    EXPECT_LE(r.dramBytes, r.run.baselineBytes);
+}
+
+TEST_P(InvariantTest, ContinuousModeConservesPerIterationEdges)
+{
+    auto [seed, policy] = GetParam();
+    SocConfig config;
+    config.policy = policy;
+    config.manager.computeJitter = 0.0;
+    Soc soc(config);
+    DagPtr dag = randomDag(seed);
+    soc.submit(dag, 0, /* continuous */ true);
+    soc.run(fromMs(20.0));
+    MetricsReport r = soc.report();
+    const AppOutcome &app = r.apps[0];
+    EXPECT_GT(app.iterations, 0);
+    // Edges consumed count whole plus possibly one partial iteration.
+    std::uint64_t per_iter = std::uint64_t(dag->numEdges());
+    EXPECT_GE(r.run.edgesConsumed,
+              per_iter * std::uint64_t(app.iterations));
+    EXPECT_LE(r.run.edgesConsumed,
+              per_iter * std::uint64_t(app.iterations + 1));
+    EXPECT_EQ(r.run.forwards + r.run.colocations + r.run.dramEdges,
+              r.run.edgesConsumed);
+}
+
+/** Small random DAG (<= 7 nodes) the oracle can search exhaustively. */
+DagPtr
+smallRandomDag(std::uint32_t seed)
+{
+    Rng rng(seed * 31 + 7);
+    auto dag =
+        std::make_shared<Dag>("small" + std::to_string(seed), 'S');
+    int n = rng.range(3, 7);
+    std::vector<Node *> nodes;
+    for (int i = 0; i < n; ++i) {
+        TaskParams p;
+        p.type = allAccTypes[std::size_t(rng.range(0, 6))];
+        p.elems = 256;
+        Node *node = dag->addNode(p, "s" + std::to_string(i));
+        node->fixedRuntime = fromUs(double(rng.range(50, 200)));
+        // Link to a random earlier node (keeps it connected-ish).
+        if (i > 0) {
+            Node *parent = nodes[std::size_t(rng.range(0, i - 1))];
+            p.numInputs = 1;
+            dag->addEdge(parent, node);
+        }
+        nodes.push_back(node);
+    }
+    dag->setRelativeDeadline(fromMs(double(rng.range(5, 20))));
+    dag->finalize();
+    return dag;
+}
+
+TEST_P(InvariantTest, OracleUpperBoundsRealizedEdges)
+{
+    // The exhaustive ideal-schedule search bounds what any online
+    // policy can realize on small problems.
+    auto [seed, policy] = GetParam();
+    SocConfig config;
+    config.policy = policy;
+    config.manager.computeJitter = 0.0;
+    Soc soc(config);
+    DagPtr dag = smallRandomDag(seed);
+    soc.submit(dag);
+    soc.run(fromMs(200.0));
+    MetricsReport r = soc.report();
+
+    OracleResult ideal =
+        findIdealSchedule({dag.get()}, config.instances);
+    ASSERT_TRUE(ideal.exhaustive);
+    EXPECT_LE(r.run.forwards + r.run.colocations,
+              std::uint64_t(ideal.totalRealized()))
+        << policyName(policy);
+}
+
+TEST_P(InvariantTest, MetricsWithinPhysicalBounds)
+{
+    auto [seed, policy] = GetParam();
+    RunResult result = runRandom(seed, policy);
+    const MetricsReport &r = result.report;
+    EXPECT_LE(r.run.nodeDeadlinesMet, r.run.nodesFinished);
+    EXPECT_LE(r.run.dagDeadlinesMet, r.run.dagsFinished);
+    EXPECT_GE(r.accOccupancy, 0.0);
+    EXPECT_LE(r.fabricOccupancy, 1.0);
+    EXPECT_GE(r.forwardFraction(), 0.0);
+    EXPECT_LE(r.forwardFraction(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDagsTimesPolicies, InvariantTest,
+    ::testing::Combine(::testing::Values(1u, 7u, 23u, 99u, 1234u),
+                       ::testing::Values(PolicyKind::Fcfs,
+                                         PolicyKind::GedfD,
+                                         PolicyKind::GedfN,
+                                         PolicyKind::LL,
+                                         PolicyKind::Lax,
+                                         PolicyKind::HetSched,
+                                         PolicyKind::ReliefLax,
+                                         PolicyKind::Relief)),
+    [](const auto &info) {
+        std::string name = policyName(std::get<1>(info.param));
+        std::erase(name, '-'); // gtest names must be alphanumeric
+        return name + "_s" + std::to_string(std::get<0>(info.param));
+    });
+
+} // namespace
+} // namespace relief

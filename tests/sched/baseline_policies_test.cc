@@ -1,0 +1,187 @@
+/** @file Unit tests for the baseline policies (Section II-C). */
+
+#include <gtest/gtest.h>
+
+#include "sched/baseline_policies.hh"
+#include "sched/policy.hh"
+
+namespace relief
+{
+namespace
+{
+
+class PolicyTest : public ::testing::Test
+{
+  protected:
+    Node *
+    makeNode(Tick deadline, Tick runtime,
+             AccType type = AccType::ElemMatrix)
+    {
+        TaskParams p;
+        p.type = type;
+        Node *n = dag.addNode(p, "n" + std::to_string(dag.numNodes()));
+        n->deadline = deadline;
+        n->predictedRuntime = runtime;
+        n->laxityKey = STick(deadline) - STick(runtime);
+        return n;
+    }
+
+    void
+    enqueue(Policy &policy, std::vector<Node *> nodes, Tick now = 0)
+    {
+        SchedContext ctx;
+        ctx.now = now;
+        policy.onNodesReady(nodes, ctx, queues);
+    }
+
+    ReadyQueue &
+    emQueue()
+    {
+        return queues[accIndex(AccType::ElemMatrix)];
+    }
+
+    Dag dag{"t", 'T'};
+    ReadyQueues queues;
+};
+
+TEST_F(PolicyTest, FactoryProducesAllKinds)
+{
+    for (PolicyKind kind : allPolicies) {
+        auto policy = makePolicy(kind);
+        ASSERT_NE(policy, nullptr);
+        EXPECT_EQ(policy->kind(), kind);
+        EXPECT_EQ(policy->name(), policyName(kind));
+    }
+}
+
+TEST_F(PolicyTest, DeadlineSchemesPerPolicy)
+{
+    EXPECT_EQ(makePolicy(PolicyKind::GedfD)->deadlineScheme(),
+              DeadlineScheme::DagDeadline);
+    EXPECT_EQ(makePolicy(PolicyKind::GedfN)->deadlineScheme(),
+              DeadlineScheme::CriticalPath);
+    EXPECT_EQ(makePolicy(PolicyKind::LL)->deadlineScheme(),
+              DeadlineScheme::CriticalPath);
+    EXPECT_EQ(makePolicy(PolicyKind::HetSched)->deadlineScheme(),
+              DeadlineScheme::Sdr);
+    EXPECT_EQ(makePolicy(PolicyKind::Relief)->deadlineScheme(),
+              DeadlineScheme::CriticalPath);
+}
+
+TEST_F(PolicyTest, FcfsKeepsArrivalOrder)
+{
+    auto policy = makePolicy(PolicyKind::Fcfs);
+    Node *late = makeNode(100, 10);
+    Node *early = makeNode(10, 10);
+    enqueue(*policy, {late});
+    enqueue(*policy, {early});
+    EXPECT_EQ(policy->selectNext(AccType::ElemMatrix, queues, 0), late);
+    EXPECT_EQ(policy->selectNext(AccType::ElemMatrix, queues, 0), early);
+}
+
+TEST_F(PolicyTest, GedfSortsByDeadline)
+{
+    auto policy = makePolicy(PolicyKind::GedfN);
+    Node *late = makeNode(300, 10);
+    Node *early = makeNode(100, 10);
+    Node *mid = makeNode(200, 10);
+    enqueue(*policy, {late});
+    enqueue(*policy, {early, mid});
+    EXPECT_EQ(emQueue().at(0), early);
+    EXPECT_EQ(emQueue().at(1), mid);
+    EXPECT_EQ(emQueue().at(2), late);
+}
+
+TEST_F(PolicyTest, LlSortsByLaxityNotDeadline)
+{
+    auto policy = makePolicy(PolicyKind::LL);
+    // a: deadline 300, runtime 290 -> laxity 10.
+    // b: deadline 100, runtime 10  -> laxity 90.
+    Node *a = makeNode(300, 290);
+    Node *b = makeNode(100, 10);
+    enqueue(*policy, {a, b});
+    EXPECT_EQ(emQueue().at(0), a); // lower laxity first
+    EXPECT_EQ(emQueue().at(1), b);
+}
+
+TEST_F(PolicyTest, LlDispatchIgnoresNegativeLaxity)
+{
+    auto policy = makePolicy(PolicyKind::LL);
+    Node *negative = makeNode(10, 50); // laxity -40
+    Node *positive = makeNode(100, 10);
+    enqueue(*policy, {negative, positive});
+    // Vanilla LL pops the head even when its laxity is negative.
+    EXPECT_EQ(policy->selectNext(AccType::ElemMatrix, queues, 0),
+              negative);
+}
+
+TEST_F(PolicyTest, LaxDeprioritizesNegativeLaxity)
+{
+    auto policy = makePolicy(PolicyKind::Lax);
+    Node *negative = makeNode(10, 50); // laxity -40
+    Node *positive = makeNode(100, 10); // laxity 90
+    enqueue(*policy, {negative, positive});
+    EXPECT_EQ(emQueue().at(0), negative);
+    // LAX bypasses the negative-laxity head in favor of 'positive'.
+    EXPECT_EQ(policy->selectNext(AccType::ElemMatrix, queues, 0),
+              positive);
+    // Only late nodes left: head runs.
+    EXPECT_EQ(policy->selectNext(AccType::ElemMatrix, queues, 0),
+              negative);
+}
+
+TEST_F(PolicyTest, LaxLaxityIsEvaluatedAtDispatchTime)
+{
+    auto policy = makePolicy(PolicyKind::Lax);
+    Node *a = makeNode(100, 50); // laxity 50 at t=0, -10 at t=60
+    Node *b = makeNode(200, 50); // laxity 150 at t=0, 90 at t=60
+    enqueue(*policy, {a, b});
+    EXPECT_EQ(policy->selectNext(AccType::ElemMatrix, queues, 60), b);
+}
+
+TEST_F(PolicyTest, PoliciesRouteNodesToTheirTypeQueue)
+{
+    auto policy = makePolicy(PolicyKind::Fcfs);
+    Node *conv = makeNode(100, 10, AccType::Convolution);
+    Node *em = makeNode(100, 10, AccType::ElemMatrix);
+    enqueue(*policy, {conv, em});
+    EXPECT_EQ(queues[accIndex(AccType::Convolution)].size(), 1u);
+    EXPECT_EQ(queues[accIndex(AccType::ElemMatrix)].size(), 1u);
+    EXPECT_EQ(policy->selectNext(AccType::Convolution, queues, 0), conv);
+}
+
+TEST_F(PolicyTest, SelectNextOnEmptyQueueIsNull)
+{
+    auto policy = makePolicy(PolicyKind::LL);
+    EXPECT_EQ(policy->selectNext(AccType::ISP, queues, 0), nullptr);
+}
+
+TEST_F(PolicyTest, PushCostsOrderedByPolicyComplexity)
+{
+    // Fig. 12: FCFS is cheapest, laxity policies cost more, RELIEF the
+    // most (feasibility scan).
+    auto fcfs = makePolicy(PolicyKind::Fcfs);
+    auto gedf = makePolicy(PolicyKind::GedfN);
+    auto lax = makePolicy(PolicyKind::Lax);
+    auto relief = makePolicy(PolicyKind::Relief);
+    for (std::size_t len : {0u, 8u, 32u}) {
+        EXPECT_LT(fcfs->pushCost(len), gedf->pushCost(len));
+        EXPECT_LE(gedf->pushCost(len), lax->pushCost(len));
+        EXPECT_LT(lax->pushCost(len), relief->pushCost(len));
+    }
+    // Costs grow with queue length for scanning policies.
+    EXPECT_GT(relief->pushCost(32), relief->pushCost(0));
+    EXPECT_EQ(fcfs->pushCost(32), fcfs->pushCost(0));
+}
+
+TEST_F(PolicyTest, HetSchedUsesLaxityOrder)
+{
+    auto policy = makePolicy(PolicyKind::HetSched);
+    Node *tight = makeNode(100, 90);
+    Node *slack = makeNode(100, 10);
+    enqueue(*policy, {slack, tight});
+    EXPECT_EQ(emQueue().at(0), tight);
+}
+
+} // namespace
+} // namespace relief

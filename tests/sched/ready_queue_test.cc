@@ -1,0 +1,117 @@
+/** @file Unit tests for the ready queue. */
+
+#include <gtest/gtest.h>
+
+#include "dag/dag.hh"
+#include "sched/ready_queue.hh"
+#include "sim/logging.hh"
+
+namespace relief
+{
+namespace
+{
+
+class ReadyQueueTest : public ::testing::Test
+{
+  protected:
+    Node *
+    makeNode(STick laxity, Tick deadline = 0, bool is_fwd = false)
+    {
+        TaskParams p;
+        p.type = AccType::ElemMatrix;
+        Node *n = dag.addNode(p, "n" + std::to_string(dag.numNodes()));
+        n->laxityKey = laxity;
+        n->deadline = deadline;
+        n->isFwd = is_fwd;
+        return n;
+    }
+
+    Dag dag{"t", 'T'};
+    ReadyQueue q;
+};
+
+TEST_F(ReadyQueueTest, StartsEmpty)
+{
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST_F(ReadyQueueTest, PushPopFifo)
+{
+    Node *a = makeNode(1);
+    Node *b = makeNode(2);
+    q.pushBack(a);
+    q.pushBack(b);
+    EXPECT_EQ(q.popFront(), a);
+    EXPECT_EQ(q.popFront(), b);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST_F(ReadyQueueTest, PushFrontJumpsQueue)
+{
+    Node *a = makeNode(1);
+    Node *b = makeNode(2);
+    q.pushBack(a);
+    q.pushFront(b);
+    EXPECT_EQ(q.at(0), b);
+    EXPECT_EQ(q.at(1), a);
+}
+
+TEST_F(ReadyQueueTest, PopAtRemovesMiddle)
+{
+    Node *a = makeNode(1);
+    Node *b = makeNode(2);
+    Node *c = makeNode(3);
+    q.pushBack(a);
+    q.pushBack(b);
+    q.pushBack(c);
+    EXPECT_EQ(q.popAt(1), b);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.at(1), c);
+}
+
+TEST_F(ReadyQueueTest, LaxityPosIsAscendingWithFifoTies)
+{
+    Node *a = makeNode(10);
+    Node *b = makeNode(30);
+    q.insertAt(q.findLaxityPos(a), a);
+    q.insertAt(q.findLaxityPos(b), b);
+    Node *mid = makeNode(20);
+    EXPECT_EQ(q.findLaxityPos(mid), 1u);
+    Node *tie = makeNode(10); // equal laxity goes after (FIFO)
+    EXPECT_EQ(q.findLaxityPos(tie), 1u);
+    Node *front = makeNode(-5);
+    EXPECT_EQ(q.findLaxityPos(front), 0u);
+}
+
+TEST_F(ReadyQueueTest, LaxityPosSkipsPromotedPrefix)
+{
+    Node *fwd = makeNode(100, 0, true); // promoted, high laxity
+    q.pushFront(fwd);
+    Node *urgent = makeNode(-50);
+    // Even with lower laxity, insertion lands after the fwd prefix.
+    EXPECT_EQ(q.findLaxityPos(urgent), 1u);
+}
+
+TEST_F(ReadyQueueTest, DeadlinePosAscendingWithFifoTies)
+{
+    Node *a = makeNode(0, 100);
+    Node *b = makeNode(0, 300);
+    q.insertAt(q.findDeadlinePos(a), a);
+    q.insertAt(q.findDeadlinePos(b), b);
+    Node *mid = makeNode(0, 200);
+    EXPECT_EQ(q.findDeadlinePos(mid), 1u);
+    Node *tie = makeNode(0, 100);
+    EXPECT_EQ(q.findDeadlinePos(tie), 1u);
+}
+
+TEST_F(ReadyQueueTest, OutOfRangeOpsPanic)
+{
+    EXPECT_THROW(q.popAt(0), PanicError);
+    Node *a = makeNode(1);
+    EXPECT_THROW(q.insertAt(5, a), PanicError);
+    EXPECT_THROW(q.insertAt(0, nullptr), PanicError);
+}
+
+} // namespace
+} // namespace relief

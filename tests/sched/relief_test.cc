@@ -1,0 +1,237 @@
+/** @file Unit tests for RELIEF's Algorithms 1 and 2. */
+
+#include <gtest/gtest.h>
+
+#include "sched/relief.hh"
+
+namespace relief
+{
+namespace
+{
+
+class ReliefTest : public ::testing::Test
+{
+  protected:
+    /** A ready node with the given timing (root until linked). */
+    Node *
+    makeNode(Tick deadline, Tick runtime, bool /* root */ = true,
+             AccType type = AccType::ElemMatrix)
+    {
+        TaskParams p;
+        p.type = type;
+        Node *n = dag.addNode(p, "n" + std::to_string(dag.numNodes()));
+        n->deadline = deadline;
+        n->predictedRuntime = runtime;
+        n->laxityKey = STick(deadline) - STick(runtime);
+        return n;
+    }
+
+    /** Turn @p second into a forwarding candidate of @p first. */
+    void
+    makeChild(Node *first, Node *second)
+    {
+        dag.addEdge(first, second);
+    }
+
+    SchedContext
+    ctxWithIdle(int em_idle, Tick now = 0)
+    {
+        SchedContext ctx;
+        ctx.now = now;
+        ctx.idleCount[accIndex(AccType::ElemMatrix)] = em_idle;
+        return ctx;
+    }
+
+    ReadyQueue &
+    emQueue()
+    {
+        return queues[accIndex(AccType::ElemMatrix)];
+    }
+
+    Dag dag{"t", 'T'};
+    ReadyQueues queues;
+    ReliefPolicy policy;
+};
+
+TEST_F(ReliefTest, RootNodesAreNeverPromoted)
+{
+    Node *root = makeNode(100, 10, true);
+    policy.onNodesReady({root}, ctxWithIdle(5), queues);
+    EXPECT_FALSE(root->isFwd);
+    EXPECT_EQ(policy.numPromotions(), 0u);
+}
+
+TEST_F(ReliefTest, ForwardingChildPromotedWhenQueueEmpty)
+{
+    Node *producer = makeNode(50, 10, true);
+    Node *child = makeNode(100, 10, true);
+    makeChild(producer, child);
+    policy.onNodesReady({child}, ctxWithIdle(1), queues);
+    EXPECT_TRUE(child->isFwd);
+    EXPECT_EQ(emQueue().at(0), child);
+    EXPECT_EQ(policy.numPromotions(), 1u);
+}
+
+TEST_F(ReliefTest, NoIdleAcceleratorNoPromotion)
+{
+    Node *producer = makeNode(50, 10, true);
+    Node *child = makeNode(100, 10, true);
+    makeChild(producer, child);
+    policy.onNodesReady({child}, ctxWithIdle(0), queues);
+    EXPECT_FALSE(child->isFwd);
+    EXPECT_EQ(policy.numThrottled(), 1u);
+}
+
+TEST_F(ReliefTest, FeasibleWhenHeadLaxityExceedsCandidateRuntime)
+{
+    // Waiting node with laxity 100 can absorb a 50-runtime promotion.
+    Node *waiting = makeNode(110, 10, true); // laxityKey 100
+    emQueue().pushBack(waiting);
+    Node *fnode = makeNode(500, 50, true);
+    EXPECT_TRUE(ReliefPolicy::isFeasible(emQueue(), fnode, 1, 0));
+    // The bypassed node was charged the candidate's runtime.
+    EXPECT_EQ(waiting->laxityKey, STick(50));
+}
+
+TEST_F(ReliefTest, InfeasibleWhenHeadWouldMissDeadline)
+{
+    Node *waiting = makeNode(40, 10, true); // laxityKey 30
+    emQueue().pushBack(waiting);
+    Node *fnode = makeNode(500, 50, true); // runtime 50 > laxity 30
+    EXPECT_FALSE(ReliefPolicy::isFeasible(emQueue(), fnode, 1, 0));
+    // No charge on failure.
+    EXPECT_EQ(waiting->laxityKey, STick(30));
+}
+
+TEST_F(ReliefTest, FeasibilityUsesCurrentLaxity)
+{
+    Node *waiting = makeNode(110, 10, true); // laxityKey 100
+    emQueue().pushBack(waiting);
+    Node *fnode = makeNode(500, 50, true);
+    // At t=80 the waiting node's current laxity is 20 < 50.
+    EXPECT_FALSE(ReliefPolicy::isFeasible(emQueue(), fnode, 1, 80));
+}
+
+TEST_F(ReliefTest, NegativeLaxityNodesAreBypassed)
+{
+    // A node that is already late cannot veto promotions.
+    Node *late = makeNode(5, 50, true); // laxityKey -45
+    emQueue().pushBack(late);
+    Node *fnode = makeNode(500, 50, true);
+    EXPECT_TRUE(ReliefPolicy::isFeasible(emQueue(), fnode, 1, 0));
+}
+
+TEST_F(ReliefTest, ExistingForwardingNodesDoNotVeto)
+{
+    Node *fwd = makeNode(60, 10, true); // would fail the laxity test
+    fwd->isFwd = true;
+    emQueue().pushFront(fwd);
+    Node *ok = makeNode(200, 10, true); // laxity 190: passes
+    emQueue().pushBack(ok);
+    Node *fnode = makeNode(500, 50, true);
+    EXPECT_TRUE(ReliefPolicy::isFeasible(emQueue(), fnode, 2, 0));
+}
+
+TEST_F(ReliefTest, ThrottledCandidateInsertsAtLaxityPosition)
+{
+    Node *a = makeNode(50, 10, true);  // laxity 40
+    Node *b = makeNode(500, 10, true); // laxity 490
+    emQueue().pushBack(a);
+    emQueue().pushBack(b);
+
+    Node *producer = makeNode(10, 5, true);
+    Node *child = makeNode(300, 200, true); // laxity 100
+    makeChild(producer, child);
+    // Feasibility fails: a's laxity 40 < child's runtime 200.
+    policy.onNodesReady({child}, ctxWithIdle(1), queues);
+    EXPECT_FALSE(child->isFwd);
+    EXPECT_EQ(emQueue().at(0), a);
+    EXPECT_EQ(emQueue().at(1), child);
+    EXPECT_EQ(emQueue().at(2), b);
+}
+
+TEST_F(ReliefTest, PromotionsLimitedByIdleCount)
+{
+    Node *producer = makeNode(10, 5, true);
+    Node *c1 = makeNode(300, 10, true);
+    Node *c2 = makeNode(400, 10, true);
+    Node *c3 = makeNode(500, 10, true);
+    makeChild(producer, c1);
+    makeChild(producer, c2);
+    makeChild(producer, c3);
+    policy.onNodesReady({c1, c2, c3}, ctxWithIdle(2), queues);
+    int promoted = int(c1->isFwd) + int(c2->isFwd) + int(c3->isFwd);
+    EXPECT_EQ(promoted, 2);
+    EXPECT_EQ(policy.numPromotions(), 2u);
+    EXPECT_EQ(policy.numThrottled(), 1u);
+}
+
+TEST_F(ReliefTest, CandidatesProcessedInLaxityOrder)
+{
+    Node *producer = makeNode(10, 5, true);
+    Node *slack = makeNode(900, 10, true); // laxity 890
+    Node *tight = makeNode(100, 80, true); // laxity 20
+    makeChild(producer, slack);
+    makeChild(producer, tight);
+    // Only one promotion slot: the tighter candidate gets it.
+    policy.onNodesReady({slack, tight}, ctxWithIdle(1), queues);
+    EXPECT_TRUE(tight->isFwd);
+    EXPECT_FALSE(slack->isFwd);
+}
+
+TEST_F(ReliefTest, SelectNextPopsPromotedHeadFirst)
+{
+    Node *waiting = makeNode(1000, 10, true);
+    emQueue().pushBack(waiting);
+    Node *producer = makeNode(10, 5, true);
+    Node *child = makeNode(600, 10, true);
+    makeChild(producer, child);
+    policy.onNodesReady({child}, ctxWithIdle(1), queues);
+    EXPECT_EQ(policy.selectNext(AccType::ElemMatrix, queues, 0), child);
+    EXPECT_EQ(policy.selectNext(AccType::ElemMatrix, queues, 0), waiting);
+}
+
+TEST_F(ReliefTest, ReliefLaxSkipsNegativeLaxityAtDispatch)
+{
+    ReliefPolicy lax_variant(true);
+    EXPECT_EQ(lax_variant.kind(), PolicyKind::ReliefLax);
+    Node *negative = makeNode(10, 100, true); // laxity -90
+    Node *positive = makeNode(500, 10, true);
+    emQueue().pushBack(negative);
+    emQueue().pushBack(positive);
+    EXPECT_EQ(lax_variant.selectNext(AccType::ElemMatrix, queues, 0),
+              positive);
+}
+
+TEST_F(ReliefTest, ReliefLaxStillRunsPromotedHead)
+{
+    ReliefPolicy lax_variant(true);
+    Node *negative = makeNode(10, 100, true);
+    negative->isFwd = true; // promoted forwarding node at the head
+    emQueue().pushFront(negative);
+    Node *positive = makeNode(500, 10, true);
+    emQueue().pushBack(positive);
+    // Forwarding head bypasses the de-prioritization.
+    EXPECT_EQ(lax_variant.selectNext(AccType::ElemMatrix, queues, 0),
+              negative);
+}
+
+TEST_F(ReliefTest, LaxityChargeAppliesToBypassedPrefixOnly)
+{
+    Node *first = makeNode(210, 10, true);  // laxity 200
+    Node *second = makeNode(310, 10, true); // laxity 300
+    Node *third = makeNode(410, 10, true);  // laxity 400
+    emQueue().pushBack(first);
+    emQueue().pushBack(second);
+    emQueue().pushBack(third);
+    Node *fnode = makeNode(300, 50, true); // laxity 250: index 1
+    std::size_t index = emQueue().findLaxityPos(fnode);
+    EXPECT_EQ(index, 1u);
+    EXPECT_TRUE(ReliefPolicy::isFeasible(emQueue(), fnode, index, 0));
+    EXPECT_EQ(first->laxityKey, STick(150)); // charged
+    EXPECT_EQ(second->laxityKey, STick(300)); // untouched
+    EXPECT_EQ(third->laxityKey, STick(400));
+}
+
+} // namespace
+} // namespace relief

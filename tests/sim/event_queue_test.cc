@@ -1,0 +1,159 @@
+/** @file Unit tests for the discrete-event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace relief
+{
+namespace
+{
+
+TEST(EventQueueTest, StartsEmptyAtTickZero)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.curTick(), 0u);
+    EXPECT_EQ(q.nextTick(), maxTick);
+    EXPECT_FALSE(q.runOne());
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    while (q.runOne()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.curTick(), 30u);
+}
+
+TEST(EventQueueTest, SameTickFiresInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    while (q.runOne()) {
+    }
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(EventQueueTest, CurTickAdvancesToEventTime)
+{
+    EventQueue q;
+    q.schedule(42, [] {});
+    EXPECT_TRUE(q.runOne());
+    EXPECT_EQ(q.curTick(), 42u);
+}
+
+TEST(EventQueueTest, SchedulingInPastPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.runOne();
+    EXPECT_THROW(q.schedule(5, [] {}), PanicError);
+}
+
+TEST(EventQueueTest, SchedulingAtCurrentTickIsAllowed)
+{
+    EventQueue q;
+    bool ran = false;
+    q.schedule(10, [&] { q.schedule(10, [&] { ran = true; }); });
+    while (q.runOne()) {
+    }
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, CancelledEventDoesNotFire)
+{
+    EventQueue q;
+    bool fired = false;
+    EventHandle h = q.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    while (q.runOne()) {
+    }
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelledEventsAreSkippedByEmptyAndNextTick)
+{
+    EventQueue q;
+    EventHandle h = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    h.cancel();
+    EXPECT_EQ(q.nextTick(), 20u);
+    EXPECT_FALSE(q.empty());
+    EXPECT_TRUE(q.runOne());
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, HandleReportsFiredState)
+{
+    EventQueue q;
+    EventHandle h = q.schedule(10, [] {});
+    EXPECT_TRUE(h.pending());
+    q.runOne();
+    EXPECT_FALSE(h.pending());
+    // Cancelling after firing is a harmless no-op.
+    h.cancel();
+}
+
+TEST(EventQueueTest, EventsScheduledFromEventsRun)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> recurse = [&]() {
+        if (++depth < 5)
+            q.schedule(q.curTick() + 1, recurse);
+    };
+    q.schedule(0, recurse);
+    while (q.runOne()) {
+    }
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.curTick(), 4u);
+}
+
+TEST(EventQueueTest, CountsScheduledAndExecuted)
+{
+    EventQueue q;
+    EventHandle h = q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    h.cancel();
+    while (q.runOne()) {
+    }
+    EXPECT_EQ(q.numScheduled(), 2u);
+    EXPECT_EQ(q.numExecuted(), 1u);
+}
+
+TEST(EventQueueTest, ManyInterleavedEventsStaySorted)
+{
+    EventQueue q;
+    Tick last = 0;
+    bool monotonic = true;
+    // Deterministic pseudo-random insertion order.
+    std::uint32_t rng = 12345;
+    for (int i = 0; i < 1000; ++i) {
+        rng = rng * 1664525u + 1013904223u;
+        Tick when = rng % 10000;
+        q.schedule(when, [&, when] {
+            monotonic = monotonic && when >= last;
+            last = when;
+        });
+    }
+    while (q.runOne()) {
+    }
+    EXPECT_TRUE(monotonic);
+}
+
+} // namespace
+} // namespace relief

@@ -1,0 +1,89 @@
+/** @file Unit tests for the error-reporting helpers. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace relief
+{
+namespace
+{
+
+TEST(LoggingTest, PanicThrowsWithMessage)
+{
+    try {
+        panic("bad thing ", 42, " happened");
+        FAIL() << "panic did not throw";
+    } catch (const PanicError &err) {
+        EXPECT_EQ(std::string(err.what()), "bad thing 42 happened");
+    }
+}
+
+TEST(LoggingTest, FatalThrowsWithMessage)
+{
+    try {
+        fatal("user error: ", 3.5);
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("user error"),
+                  std::string::npos);
+    }
+}
+
+TEST(LoggingTest, PanicAndFatalAreDistinctTypes)
+{
+    // A fatal (user) error must not be caught as a panic (bug) and
+    // vice versa.
+    EXPECT_THROW(fatal("x"), std::runtime_error);
+    EXPECT_THROW(panic("x"), std::logic_error);
+    bool caught_as_panic = false;
+    try {
+        fatal("x");
+    } catch (const PanicError &) {
+        caught_as_panic = true;
+    } catch (...) {
+    }
+    EXPECT_FALSE(caught_as_panic);
+}
+
+TEST(LoggingTest, AssertPassesOnTrueCondition)
+{
+    EXPECT_NO_THROW(RELIEF_ASSERT(1 + 1 == 2, "math works"));
+}
+
+TEST(LoggingTest, AssertThrowsWithContext)
+{
+    int value = 7;
+    try {
+        RELIEF_ASSERT(value == 8, "value was ", value);
+        FAIL() << "assert did not throw";
+    } catch (const PanicError &err) {
+        std::string msg = err.what();
+        EXPECT_NE(msg.find("value == 8"), std::string::npos);
+        EXPECT_NE(msg.find("value was 7"), std::string::npos);
+    }
+}
+
+TEST(LoggingTest, WarnAndInformDoNotThrow)
+{
+    EXPECT_NO_THROW(warn("just a warning ", 1));
+    EXPECT_NO_THROW(inform("status ", 2));
+    setInformEnabled(false);
+    EXPECT_NO_THROW(inform("suppressed"));
+    setInformEnabled(true);
+}
+
+TEST(LoggingTest, MessageConcatenationHandlesMixedTypes)
+{
+    try {
+        panic("a=", 1, " b=", 2.5, " c=", std::string("str"), " d=",
+              'x');
+    } catch (const PanicError &err) {
+        EXPECT_EQ(std::string(err.what()), "a=1 b=2.5 c=str d=x");
+    }
+}
+
+} // namespace
+} // namespace relief

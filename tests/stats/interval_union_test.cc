@@ -1,0 +1,101 @@
+/** @file Unit tests for busy-interval union accounting. */
+
+#include <gtest/gtest.h>
+
+#include "stats/interval_union.hh"
+
+namespace relief
+{
+namespace
+{
+
+TEST(IntervalUnionTest, EmptyCoversNothing)
+{
+    IntervalUnion u;
+    EXPECT_EQ(u.covered(), 0u);
+    EXPECT_EQ(u.rawSum(), 0u);
+}
+
+TEST(IntervalUnionTest, DisjointIntervalsSum)
+{
+    IntervalUnion u;
+    u.add(0, 10);
+    u.add(20, 30);
+    EXPECT_EQ(u.covered(), 20u);
+    EXPECT_EQ(u.rawSum(), 20u);
+}
+
+TEST(IntervalUnionTest, OverlapCountedOnce)
+{
+    IntervalUnion u;
+    u.add(0, 10);
+    u.add(5, 15);
+    EXPECT_EQ(u.covered(), 15u);
+    EXPECT_EQ(u.rawSum(), 20u);
+}
+
+TEST(IntervalUnionTest, TouchingIntervalsMerge)
+{
+    IntervalUnion u;
+    u.add(0, 10);
+    u.add(10, 20);
+    EXPECT_EQ(u.covered(), 20u);
+}
+
+TEST(IntervalUnionTest, OutOfOrderInsertion)
+{
+    IntervalUnion u;
+    u.add(50, 60);
+    u.add(0, 10);
+    u.add(5, 55);
+    EXPECT_EQ(u.covered(), 60u);
+}
+
+TEST(IntervalUnionTest, NestedIntervals)
+{
+    IntervalUnion u;
+    u.add(0, 100);
+    u.add(10, 20);
+    u.add(30, 40);
+    EXPECT_EQ(u.covered(), 100u);
+}
+
+TEST(IntervalUnionTest, EmptyIntervalIgnored)
+{
+    IntervalUnion u;
+    u.add(10, 10);
+    u.add(20, 15);
+    EXPECT_EQ(u.covered(), 0u);
+    EXPECT_EQ(u.numIntervals(), 0u);
+}
+
+TEST(IntervalUnionTest, ClipsToUpTo)
+{
+    IntervalUnion u;
+    u.add(0, 10);
+    u.add(20, 40);
+    EXPECT_EQ(u.covered(30), 20u);
+    EXPECT_EQ(u.covered(5), 5u);
+    EXPECT_EQ(u.covered(0), 0u);
+}
+
+TEST(IntervalUnionTest, QueryThenAddThenQuery)
+{
+    IntervalUnion u;
+    u.add(0, 10);
+    EXPECT_EQ(u.covered(), 10u);
+    u.add(5, 20); // insertion after a query must still work
+    EXPECT_EQ(u.covered(), 20u);
+}
+
+TEST(IntervalUnionTest, ClearResets)
+{
+    IntervalUnion u;
+    u.add(0, 10);
+    u.clear();
+    EXPECT_EQ(u.covered(), 0u);
+    EXPECT_EQ(u.rawSum(), 0u);
+}
+
+} // namespace
+} // namespace relief

@@ -1,0 +1,100 @@
+/** @file Unit tests for counters, accumulators, and geomean. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/stats.hh"
+
+namespace relief
+{
+namespace
+{
+
+TEST(CounterTest, AddsAndResets)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(AccumTest, EmptyIsZero)
+{
+    Accum a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(AccumTest, MeanMinMax)
+{
+    Accum a;
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(AccumTest, VarianceAndStddev)
+{
+    Accum a;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.sample(v);
+    EXPECT_NEAR(a.variance(), 4.0, 1e-9);
+    EXPECT_NEAR(a.stddev(), 2.0, 1e-9);
+}
+
+TEST(AccumTest, NegativeSamples)
+{
+    Accum a;
+    a.sample(-3.0);
+    a.sample(3.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), -3.0);
+    EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(AccumTest, ResetClearsState)
+{
+    Accum a;
+    a.sample(5.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(GeomeanTest, MatchesHandComputedValue)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0, 16.0}), 4.0, 1e-9);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-9);
+}
+
+TEST(GeomeanTest, SingleValueIsItself)
+{
+    EXPECT_DOUBLE_EQ(geomean({7.5}), 7.5);
+}
+
+TEST(GeomeanTest, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(GeomeanTest, ZeroEntriesAreFloored)
+{
+    // A zero entry is clamped to the floor rather than collapsing the
+    // mean to zero (mirrors how the paper's gmean bars handle zeros).
+    double g = geomean({0.0, 1.0}, 1e-4);
+    EXPECT_NEAR(g, std::sqrt(1e-4), 1e-9);
+}
+
+} // namespace
+} // namespace relief

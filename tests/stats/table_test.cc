@@ -1,0 +1,101 @@
+/** @file Unit tests for the table emitter. */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "stats/table.hh"
+
+namespace relief
+{
+namespace
+{
+
+TEST(TableTest, FormatsNumbers)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(3.0, 0), "3");
+    EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(TableTest, FormatsPercentages)
+{
+    EXPECT_EQ(Table::pct(0.5), "50.0");
+    EXPECT_EQ(Table::pct(1.234, 0), "123");
+}
+
+TEST(TableTest, PrintsAlignedColumns)
+{
+    Table t("demo");
+    t.setHeader({"mix", "value"});
+    t.addRow({"CDG", "1.00"});
+    t.addRow({"GHL", "123.45"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("mix"), std::string::npos);
+    EXPECT_NE(out.find("123.45"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TableTest, PrintsCsv)
+{
+    Table t("csv");
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "# csv\na,b\n1,2\n");
+}
+
+TEST(TableTest, RowWidthMismatchPanics)
+{
+    Table t;
+    t.setHeader({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(TableTest, SlugifiesTitles)
+{
+    EXPECT_EQ(Table("Fig 4 (low) — forwards %").slug(),
+              "fig_4_low_forwards");
+    EXPECT_EQ(Table("already_clean").slug(), "already_clean");
+    EXPECT_EQ(Table("").slug(), "table");
+}
+
+TEST(TableTest, EmitWritesCsvWhenEnvSet)
+{
+    std::string dir = ::testing::TempDir();
+    setenv("RELIEF_CSV_DIR", dir.c_str(), 1);
+    Table t("csv export check");
+    t.setHeader({"a"});
+    t.addRow({"42"});
+    std::ostringstream os;
+    t.emit(os);
+    unsetenv("RELIEF_CSV_DIR");
+
+    std::ifstream csv(dir + "/csv_export_check.csv");
+    ASSERT_TRUE(csv.good());
+    std::stringstream content;
+    content << csv.rdbuf();
+    EXPECT_NE(content.str().find("42"), std::string::npos);
+    // Console output unaffected.
+    EXPECT_NE(os.str().find("csv export check"), std::string::npos);
+}
+
+TEST(TableTest, EmitWithoutEnvOnlyPrints)
+{
+    unsetenv("RELIEF_CSV_DIR");
+    Table t("no csv");
+    t.setHeader({"a"});
+    t.addRow({"1"});
+    std::ostringstream os;
+    EXPECT_NO_THROW(t.emit(os));
+    EXPECT_FALSE(os.str().empty());
+}
+
+} // namespace
+} // namespace relief

@@ -1,0 +1,151 @@
+/** @file Unit + integration tests for the schedule tracer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/soc.hh"
+#include "sim/logging.hh"
+#include "trace/trace.hh"
+
+namespace relief
+{
+namespace
+{
+
+TEST(TraceRecorderTest, LanesAreDeduplicatedAndOrdered)
+{
+    TraceRecorder trace;
+    int a = trace.lane("acc0");
+    int b = trace.lane("acc1");
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 1);
+    EXPECT_EQ(trace.lane("acc0"), 0);
+    EXPECT_EQ(trace.numLanes(), 2);
+    EXPECT_EQ(trace.laneName(1), "acc1");
+}
+
+TEST(TraceRecorderTest, SpansRecorded)
+{
+    TraceRecorder trace;
+    int lane_id = trace.lane("acc");
+    trace.span(lane_id, "task", 100, 200);
+    ASSERT_EQ(trace.numSpans(), 1u);
+    EXPECT_EQ(trace.spans()[0].name, "task");
+    EXPECT_EQ(trace.horizon(), 200u);
+}
+
+TEST(TraceRecorderTest, EmptySpansDropped)
+{
+    TraceRecorder trace;
+    int lane_id = trace.lane("acc");
+    trace.span(lane_id, "zero", 100, 100);
+    trace.span(lane_id, "backwards", 200, 100);
+    EXPECT_EQ(trace.numSpans(), 0u);
+}
+
+TEST(TraceRecorderTest, UnknownLanePanics)
+{
+    TraceRecorder trace;
+    EXPECT_THROW(trace.span(0, "x", 0, 1), PanicError);
+}
+
+TEST(TraceRecorderTest, ChromeJsonHasMetadataAndEvents)
+{
+    TraceRecorder trace;
+    int lane_id = trace.lane("conv0");
+    trace.span(lane_id, "canny.blur", fromUs(10.0), fromUs(25.0),
+               "compute");
+    std::ostringstream os;
+    trace.writeChromeJson(os);
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"conv0\""), std::string::npos);
+    EXPECT_NE(json.find("\"canny.blur\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":10"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":15"), std::string::npos);
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json[json.size() - 2], ']');
+}
+
+TEST(TraceRecorderTest, JsonEscapesQuotes)
+{
+    TraceRecorder trace;
+    int lane_id = trace.lane("acc");
+    trace.span(lane_id, "weird\"name", 0, 10);
+    std::ostringstream os;
+    trace.writeChromeJson(os);
+    EXPECT_NE(os.str().find("weird\\\"name"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, GanttMarksBusyBuckets)
+{
+    TraceRecorder trace;
+    int lane_id = trace.lane("acc");
+    trace.span(lane_id, "task", 0, 50);
+    std::ostringstream os;
+    trace.writeGantt(os, 0, 100, 10);
+    std::string out = os.str();
+    // Lane row: first 5 buckets marked with 't', rest idle.
+    EXPECT_NE(out.find("ttttt....."), std::string::npos);
+}
+
+TEST(TraceRecorderTest, GanttClipsToWindow)
+{
+    TraceRecorder trace;
+    int lane_id = trace.lane("acc");
+    trace.span(lane_id, "x", 0, 1000);
+    std::ostringstream os;
+    trace.writeGantt(os, 500, 600, 10);
+    EXPECT_NE(os.str().find("xxxxxxxxxx"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, ClearDropsSpansKeepsLanes)
+{
+    TraceRecorder trace;
+    int lane_id = trace.lane("acc");
+    trace.span(lane_id, "t", 0, 10);
+    trace.clear();
+    EXPECT_EQ(trace.numSpans(), 0u);
+    EXPECT_EQ(trace.numLanes(), 1);
+}
+
+TEST(TraceIntegrationTest, SocEmitsSpansForEveryNode)
+{
+    SocConfig config;
+    config.policy = PolicyKind::Relief;
+    Soc soc(config);
+    TraceRecorder &trace = soc.enableTracing();
+    DagPtr dag = buildApp(AppId::Canny);
+    soc.submit(dag);
+    soc.run(fromMs(50.0));
+    ASSERT_TRUE(dag->complete());
+
+    // One compute span per node, named by its label.
+    int compute_spans = 0;
+    for (const TraceSpan &s : trace.spans())
+        compute_spans += s.category == "compute";
+    EXPECT_EQ(compute_spans, dag->numNodes());
+    // Manager scheduling spans exist too.
+    bool has_mgr = false;
+    for (const TraceSpan &s : trace.spans())
+        has_mgr = has_mgr || s.category == "mgr";
+    EXPECT_TRUE(has_mgr);
+}
+
+TEST(TraceIntegrationTest, SpansNestWithinRun)
+{
+    Soc soc;
+    TraceRecorder &trace = soc.enableTracing();
+    DagPtr dag = buildApp(AppId::Gru);
+    soc.submit(dag);
+    Tick end = soc.run(fromMs(50.0));
+    for (const TraceSpan &s : trace.spans()) {
+        EXPECT_LT(s.start, s.end);
+        EXPECT_LE(s.end, end + fromMs(1.0));
+    }
+}
+
+} // namespace
+} // namespace relief

@@ -1,0 +1,68 @@
+/** @file Unit tests for the contention scenarios (Section IV-C). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/scenario.hh"
+
+namespace relief
+{
+namespace
+{
+
+TEST(ScenarioTest, LowContentionIsEverySingleApp)
+{
+    auto mixes = mixesFor(Contention::Low);
+    EXPECT_EQ(mixes, (std::vector<std::string>{"C", "D", "G", "H", "L"}));
+}
+
+TEST(ScenarioTest, MediumContentionIsAllPairs)
+{
+    auto mixes = mixesFor(Contention::Medium);
+    EXPECT_EQ(mixes.size(), 10u);
+    EXPECT_EQ(mixes.front(), "CD");
+    EXPECT_EQ(mixes.back(), "HL");
+    std::set<std::string> unique(mixes.begin(), mixes.end());
+    EXPECT_EQ(unique.size(), mixes.size());
+}
+
+TEST(ScenarioTest, HighContentionIsAllTriples)
+{
+    auto mixes = mixesFor(Contention::High);
+    EXPECT_EQ(mixes.size(), 10u); // C(5,3)
+    EXPECT_EQ(mixes.front(), "CDG");
+    EXPECT_EQ(mixes.back(), "GHL");
+}
+
+TEST(ScenarioTest, ContinuousUsesTheSameTriples)
+{
+    EXPECT_EQ(mixesFor(Contention::Continuous),
+              mixesFor(Contention::High));
+}
+
+TEST(ScenarioTest, MixesAreValidApplicationSymbols)
+{
+    for (Contention level :
+         {Contention::Low, Contention::Medium, Contention::High}) {
+        for (const std::string &mix : mixesFor(level)) {
+            EXPECT_NO_THROW(parseMix(mix)) << mix;
+        }
+    }
+}
+
+TEST(ScenarioTest, Names)
+{
+    EXPECT_STREQ(contentionName(Contention::Low), "low");
+    EXPECT_STREQ(contentionName(Contention::Medium), "medium");
+    EXPECT_STREQ(contentionName(Contention::High), "high");
+    EXPECT_STREQ(contentionName(Contention::Continuous), "continuous");
+}
+
+TEST(ScenarioTest, WindowMatchesPaper)
+{
+    EXPECT_EQ(continuousWindow, fromMs(50.0));
+}
+
+} // namespace
+} // namespace relief

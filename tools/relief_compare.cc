@@ -1,0 +1,127 @@
+/**
+ * @file
+ * relief_compare — run one workload under every scheduling policy and
+ * print the side-by-side comparison (forwards, colocations, traffic,
+ * deadlines, makespan). For workloads small enough (<= 24 nodes total,
+ * e.g. a --workload file), an "Ideal (oracle)" row from the exhaustive
+ * schedule search is appended as the upper bound.
+ *
+ * Usage: relief_compare [--mix SYMBOLS | --workload FILE]
+ *                       [--continuous] [--limit-ms X] [platform flags]
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cli.hh"
+#include "core/relief.hh"
+#include "dag/workload_file.hh"
+#include "sched/oracle.hh"
+
+using namespace relief;
+
+namespace
+{
+
+std::vector<DagPtr>
+buildWorkload(const ExperimentConfig &config,
+              const std::string &workload_path)
+{
+    if (!workload_path.empty())
+        return loadWorkloadFile(workload_path);
+    std::vector<DagPtr> dags;
+    for (AppId app : parseMix(config.mix))
+        dags.push_back(buildApp(app, config.app));
+    return dags;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload_path;
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--workload" && i + 1 < argc) {
+            workload_path = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << cliUsage() << " [--workload FILE]\n";
+            return 0;
+        } else {
+            args.push_back(arg);
+        }
+    }
+
+    ExperimentConfig config;
+    try {
+        config = parseCliOptions(args);
+    } catch (const FatalError &err) {
+        std::cerr << err.what() << "\n";
+        return 1;
+    }
+
+    Table table("policy comparison — " +
+                (workload_path.empty() ? "mix " + config.mix
+                                       : "workload " + workload_path));
+    table.setHeader({"policy", "fwd", "coloc", "DRAM KiB",
+                     "node deadlines %", "DAG deadlines",
+                     "makespan (ms)"});
+
+    std::vector<PolicyKind> policies = allPolicies;
+    policies.push_back(PolicyKind::ReliefHetSched);
+    for (PolicyKind policy : policies) {
+        SocConfig soc_config = config.soc;
+        soc_config.policy = policy;
+        Soc soc(soc_config);
+        std::vector<DagPtr> dags;
+        try {
+            dags = buildWorkload(config, workload_path);
+        } catch (const FatalError &err) {
+            std::cerr << err.what() << "\n";
+            return 1;
+        }
+        for (DagPtr &dag : dags)
+            soc.submit(dag, 0, config.continuous);
+        soc.run(config.timeLimit);
+        MetricsReport r = soc.report();
+        table.addRow(
+            {policyName(policy), std::to_string(r.run.forwards),
+             std::to_string(r.run.colocations),
+             std::to_string(r.dramBytes / 1024),
+             Table::pct(r.run.nodeDeadlineFraction()),
+             std::to_string(r.run.dagDeadlinesMet) + "/" +
+                 std::to_string(r.run.dagsFinished),
+             Table::num(toMs(r.execTime), 3)});
+    }
+
+    // Oracle bound, when the search is tractable.
+    try {
+        std::vector<DagPtr> dags = buildWorkload(config, workload_path);
+        int total_nodes = 0;
+        std::vector<Dag *> raw;
+        for (DagPtr &dag : dags) {
+            total_nodes += dag->numNodes();
+            raw.push_back(dag.get());
+        }
+        if (total_nodes <= 24 && !config.continuous) {
+            OracleResult ideal =
+                findIdealSchedule(raw, config.soc.instances);
+            table.addRow(
+                {std::string("Ideal (oracle") +
+                     (ideal.exhaustive ? ")" : ", state-capped)"),
+                 std::to_string(ideal.forwards),
+                 std::to_string(ideal.colocations), "-", "-",
+                 std::to_string(ideal.dagDeadlinesMet) + "/" +
+                     std::to_string(ideal.dagCount),
+                 Table::num(toMs(ideal.makespan), 3)});
+        }
+    } catch (const PanicError &) {
+        // Too large for the oracle: no bound row.
+    }
+
+    table.print(std::cout);
+    return 0;
+}

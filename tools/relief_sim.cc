@@ -1,0 +1,159 @@
+/**
+ * @file
+ * relief_sim — the command-line simulation driver.
+ *
+ * Configure the platform and workload entirely from flags, run one
+ * simulation, and print the full metrics report (plus an optional
+ * schedule trace). Examples:
+ *
+ *   relief_sim --mix GHL --policy LAX
+ *   relief_sim --mix CDG --policy RELIEF --continuous --limit-ms 50
+ *   relief_sim --mix CG --instances EM=2 --fabric xbar --trace out.json
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cli.hh"
+#include "core/relief.hh"
+#include "dag/workload_file.hh"
+
+using namespace relief;
+
+int
+main(int argc, char **argv)
+{
+    std::string trace_path;
+    std::string stats_path;
+    std::string dot_dir;
+    std::string workload_path;
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (arg == "--stats" && i + 1 < argc) {
+            stats_path = argv[++i];
+        } else if (arg == "--dot" && i + 1 < argc) {
+            dot_dir = argv[++i];
+        } else if (arg == "--workload" && i + 1 < argc) {
+            workload_path = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << cliUsage()
+                      << " [--workload FILE] [--trace FILE] [--stats FILE] [--dot DIR]\n";
+            return 0;
+        } else {
+            args.push_back(arg);
+        }
+    }
+
+    ExperimentConfig config;
+    try {
+        config = parseCliOptions(args);
+    } catch (const FatalError &err) {
+        std::cerr << err.what() << "\n";
+        return 1;
+    }
+
+    Soc soc(config.soc);
+    if (!trace_path.empty())
+        soc.enableTracing();
+
+    std::vector<DagPtr> dags;
+    try {
+        if (!workload_path.empty()) {
+            // A workload file replaces the built-in mix.
+            dags = loadWorkloadFile(workload_path);
+        } else {
+            for (AppId app : parseMix(config.mix))
+                dags.push_back(buildApp(app, config.app));
+        }
+    } catch (const FatalError &err) {
+        std::cerr << err.what() << "\n";
+        return 1;
+    }
+    for (DagPtr &dag : dags) {
+        if (!dot_dir.empty()) {
+            std::string path = dot_dir + "/" + dag->name() + ".dot";
+            std::ofstream out(path);
+            if (!out) {
+                std::cerr << "cannot write " << path << "\n";
+                return 1;
+            }
+            dag->writeDot(out);
+            std::cout << "DAG written to " << path << "\n";
+        }
+        soc.submit(dag, 0, config.continuous);
+    }
+    soc.run(config.timeLimit);
+    MetricsReport report = soc.report();
+
+    std::string workload_label = workload_path.empty()
+                                     ? "mix " + config.mix
+                                     : "workload " + workload_path;
+    Table summary("relief_sim — " + workload_label + " under " +
+                  policyName(config.soc.policy));
+    summary.setHeader({"metric", "value"});
+    summary.addRow({"execution time (ms)", Table::num(toMs(report.execTime), 3)});
+    summary.addRow({"edges consumed", std::to_string(report.run.edgesConsumed)});
+    summary.addRow({"forwards", std::to_string(report.run.forwards)});
+    summary.addRow({"colocations", std::to_string(report.run.colocations)});
+    summary.addRow({"forward+coloc share (%)",
+                    Table::pct(report.forwardFraction())});
+    summary.addRow({"DRAM traffic (KiB)",
+                    std::to_string(report.dramBytes / 1024)});
+    summary.addRow({"DRAM traffic vs all-DRAM (%)",
+                    Table::pct(report.dramTrafficFraction())});
+    summary.addRow({"SPM-to-SPM traffic (KiB)",
+                    std::to_string(report.spmForwardBytes / 1024)});
+    summary.addRow({"DRAM energy (uJ)",
+                    Table::num(report.dramEnergyPJ / 1e6, 2)});
+    summary.addRow({"SPM energy (uJ)",
+                    Table::num(report.spmEnergyPJ / 1e6, 2)});
+    summary.addRow({"node deadlines met (%)",
+                    Table::pct(report.run.nodeDeadlineFraction())});
+    summary.addRow({"DAG deadlines met",
+                    std::to_string(report.run.dagDeadlinesMet) + "/" +
+                        std::to_string(report.run.dagsFinished)});
+    summary.addRow({"accelerator occupancy",
+                    Table::num(report.accOccupancy, 3)});
+    summary.addRow({"interconnect occupancy (%)",
+                    Table::pct(report.fabricOccupancy)});
+    summary.addRow({"manager busy (us)",
+                    Table::num(toUs(report.run.managerBusyTime), 1)});
+    summary.print(std::cout);
+
+    Table apps("per application");
+    apps.setHeader({"app", "iterations", "deadlines met", "gmean slowdown",
+                    "max slowdown"});
+    for (const AppOutcome &app : report.apps) {
+        apps.addRow({app.name, std::to_string(app.iterations),
+                     std::to_string(app.deadlinesMet),
+                     app.starved() ? "inf" : Table::num(app.meanSlowdown(), 2),
+                     app.starved() ? "inf" : Table::num(app.maxSlowdown(), 2)});
+    }
+    std::cout << "\n";
+    apps.print(std::cout);
+
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (!out) {
+            std::cerr << "cannot write trace to " << trace_path << "\n";
+            return 1;
+        }
+        soc.trace()->writeChromeJson(out);
+        std::cout << "\ntrace written to " << trace_path << "\n";
+    }
+    if (!stats_path.empty()) {
+        std::ofstream out(stats_path);
+        if (!out) {
+            std::cerr << "cannot write stats to " << stats_path << "\n";
+            return 1;
+        }
+        soc.dumpStats(out);
+        std::cout << "stats written to " << stats_path << "\n";
+    }
+    return 0;
+}
