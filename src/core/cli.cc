@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "sim/debug.hh"
 #include "sim/logging.hh"
 
 namespace relief
@@ -40,7 +41,8 @@ cliUsage()
            "[--dm-predictor KIND] [--spm-partitions N] "
            "[--no-feasibility] [--no-forwarding] [--stream-forwarding] "
            "[--dma-burst N] [--submit-latency-us X] [--functional] "
-           "[--seed N] [--config FILE]";
+           "[--seed N] [--debug-flags LIST] [--stats-json FILE] "
+           "[--config FILE]";
 }
 
 namespace
@@ -210,6 +212,13 @@ parseCliOptions(const std::vector<std::string> &raw_args)
         } else if (arg == "--seed") {
             config.app.seed = std::uint32_t(
                 std::strtoul(need_value(i).c_str(), nullptr, 10));
+            ++i;
+        } else if (arg == "--debug-flags") {
+            config.debugFlags = need_value(i);
+            setDebugFlags(config.debugFlags);
+            ++i;
+        } else if (arg == "--stats-json") {
+            config.statsJsonPath = need_value(i);
             ++i;
         } else {
             fatal("unknown flag '", arg, "'\n", cliUsage());

@@ -25,6 +25,9 @@
  *   --dma-burst N          burst-interleaved DMA (0 = whole buffer)
  *   --submit-latency-us X  host command-queue submission cost
  *   --seed N               input/weight generator seed
+ *   --debug-flags LIST     enable debug categories, e.g. Sched,Dma
+ *                          (Sched|Dma|Mem|Fabric|Stats; see sim/debug.hh)
+ *   --stats-json FILE      write the stat registry as JSON after the run
  *   --config FILE          splice flags from a file
  */
 

@@ -24,6 +24,8 @@ struct ExperimentConfig
     bool continuous = false;    ///< Loop each application (Fig. 10).
     Tick timeLimit = fromMs(50.0); ///< Paper's simulation cap.
     AppConfig app;              ///< DAG-builder knobs.
+    std::string debugFlags;    ///< --debug-flags list (already applied).
+    std::string statsJsonPath; ///< --stats-json target ("" = off).
 };
 
 /** Run one simulation and return its metrics. */

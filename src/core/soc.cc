@@ -5,9 +5,11 @@
 #include <iomanip>
 #include <limits>
 #include <ostream>
+#include <utility>
 
 #include "sched/relief.hh"
 #include "sim/logging.hh"
+#include "stats/json.hh"
 
 namespace relief
 {
@@ -109,6 +111,129 @@ Soc::Soc(const SocConfig &config) : config_(config)
         acc_ptrs, config.manager);
     manager_->setDagCompletionHandler(
         [this](Dag *dag) { onDagComplete(dag); });
+
+    registerStats();
+}
+
+void
+Soc::registerStats()
+{
+    // Registration order is the text-dump order; keep it aligned with
+    // the historical dumpStats() layout so diffs stay line-stable.
+    stats_.addCounter("sim.ticks", "final tick (ps)",
+                      [this] { return sim_.events().curTick(); });
+    stats_.addScalar("sim.time_ms", "simulated milliseconds",
+                     [this] { return toMs(sim_.events().curTick()); });
+    stats_.addCounter("sim.events", "events executed",
+                      [this] { return sim_.events().numExecuted(); });
+
+    stats_.addCounter("dram.read_bytes", "bytes read from DRAM",
+                      [this] { return dram_->readBytes(); });
+    stats_.addCounter("dram.write_bytes", "bytes written to DRAM",
+                      [this] { return dram_->writeBytes(); });
+    stats_.addScalar("dram.energy_pj", "dynamic DRAM energy",
+                     [this] { return dram_->energyPJ(); });
+    stats_.addScalar("dram.channel.busy_us", "channel busy time",
+                     [this] {
+                         return toUs(dram_->channel().busyTime(endTick_));
+                     });
+    stats_.addCounter("dram.channel.transfers", "channel reservations",
+                      [this] {
+                          return dram_->channel().numTransfers();
+                      });
+
+    stats_.addCounter("fabric.bytes", "fabric payload bytes",
+                      [this] { return fabric_->totalBytes(); });
+    stats_.addCounter("fabric.transfers", "fabric transactions",
+                      [this] { return fabric_->numTransfers(); });
+    stats_.addFormula("fabric.occupancy", "fraction of time busy",
+                      [this] { return fabric_->occupancy(endTick_); });
+
+    for (const auto &acc_ptr : accs_) {
+        Accelerator *acc = acc_ptr.get();
+        const std::string prefix = acc->name();
+        stats_.addCounter(prefix + ".tasks", "tasks completed",
+                          [acc] { return acc->tasksExecuted(); });
+        stats_.addScalar(prefix + ".compute_busy_us",
+                         "compute busy time", [this, acc] {
+                             return toUs(acc->computeBusyTime(endTick_));
+                         });
+        stats_.addCounter(prefix + ".spm.read_bytes",
+                          "scratchpad bytes read",
+                          [acc] { return acc->spm().readBytes(); });
+        stats_.addCounter(prefix + ".spm.write_bytes",
+                          "scratchpad bytes written",
+                          [acc] { return acc->spm().writeBytes(); });
+        stats_.addScalar(prefix + ".spm.energy_pj", "scratchpad energy",
+                         [acc] { return acc->spm().energyPJ(); });
+        stats_.addCounter(prefix + ".dma.dram_read_bytes",
+                          "DRAM loads issued", [acc] {
+                              return acc->dma().bytesMoved(
+                                  TrafficClass::DramRead);
+                          });
+        stats_.addCounter(prefix + ".dma.dram_write_bytes",
+                          "DRAM write-backs issued", [acc] {
+                              return acc->dma().bytesMoved(
+                                  TrafficClass::DramWrite);
+                          });
+        stats_.addCounter(prefix + ".dma.forward_bytes",
+                          "forwarded bytes pulled", [acc] {
+                              return acc->dma().bytesMoved(
+                                  TrafficClass::SpmForward);
+                          });
+    }
+
+    const RunMetrics &m = manager_->metrics();
+    stats_.addCounter("manager.edges", "parent edges satisfied",
+                      [&m] { return m.edgesConsumed; });
+    stats_.addCounter("manager.forwards", "edges forwarded SPM-to-SPM",
+                      [&m] { return m.forwards; });
+    stats_.addCounter("manager.colocations", "edges colocated",
+                      [&m] { return m.colocations; });
+    stats_.addCounter("manager.dram_edges", "edges served from DRAM",
+                      [&m] { return m.dramEdges; });
+    stats_.addCounter("manager.writebacks_avoided",
+                      "outputs never sent to DRAM",
+                      [&m] { return m.writebacksAvoided; });
+    stats_.addCounter("manager.nodes_finished", "tasks completed",
+                      [&m] { return m.nodesFinished; });
+    stats_.addCounter("manager.node_deadlines_met",
+                      "tasks within deadline",
+                      [&m] { return m.nodeDeadlinesMet; });
+    stats_.addCounter("manager.dags_finished", "DAGs completed",
+                      [&m] { return m.dagsFinished; });
+    stats_.addCounter("manager.dag_deadlines_met",
+                      "DAGs within deadline",
+                      [&m] { return m.dagDeadlinesMet; });
+    stats_.addScalar("manager.busy_us", "modeled scheduling time",
+                     [&m] { return toUs(m.managerBusyTime); });
+    stats_.addFormula("manager.push_mean_us",
+                      "mean ready-queue insert cost",
+                      [&m] { return toUs(Tick(m.pushLatency.mean())); });
+    stats_.addFormula("manager.queue_wait_mean_us",
+                      "mean ready-to-launch wait",
+                      [&m] { return toUs(Tick(m.queueWait.mean())); });
+    stats_.addFormula("manager.queue_wait_max_us",
+                      "max ready-to-launch wait",
+                      [&m] { return toUs(Tick(m.queueWait.max())); });
+    stats_.addFormula("manager.queue_depth_mean",
+                      "mean queue length at insert",
+                      [&m] { return m.queueDepth.mean(); });
+    stats_.addFormula("manager.forward_fraction",
+                      "forwarded+colocated edges / consumed (Fig. 4)",
+                      [&m] { return m.forwardFraction(m.edgesConsumed); });
+    stats_.addFormula("manager.node_deadline_fraction",
+                      "tasks within deadline / finished (Fig. 8)",
+                      [&m] { return m.nodeDeadlineFraction(); });
+    stats_.addFormula("manager.dag_deadline_fraction",
+                      "DAGs within deadline / finished",
+                      [&m] { return m.dagDeadlineFraction(); });
+    stats_.addHistogram("manager.queue_wait_us",
+                        "ready-to-launch wait distribution (us)",
+                        &m.queueWaitUs);
+    stats_.addHistogram("manager.queue_depth",
+                        "queue length at insert distribution",
+                        &m.queueDepthHist);
 }
 
 Soc::~Soc() = default;
@@ -159,80 +284,16 @@ Soc::onDagComplete(Dag *dag)
 void
 Soc::dumpStats(std::ostream &os) const
 {
+    os << "---------- Begin Simulation Statistics ----------\n";
+    stats_.dumpText(os);
+
+    // Per-application outcomes stay outside the registry: app names
+    // repeat across submissions, while registry names are unique.
     auto line = [&os](const std::string &name, auto value,
                       const char *comment) {
         os << std::left << std::setw(44) << name << " " << std::setw(16)
            << value << " # " << comment << "\n";
     };
-
-    os << "---------- Begin Simulation Statistics ----------\n";
-    line("sim.ticks", sim_.events().curTick(), "final tick (ps)");
-    line("sim.time_ms", toMs(sim_.events().curTick()),
-         "simulated milliseconds");
-    line("sim.events", sim_.events().numExecuted(), "events executed");
-
-    line("dram.read_bytes", dram_->readBytes(), "bytes read from DRAM");
-    line("dram.write_bytes", dram_->writeBytes(),
-         "bytes written to DRAM");
-    line("dram.energy_pj", dram_->energyPJ(), "dynamic DRAM energy");
-    line("dram.channel.busy_us",
-         toUs(dram_->channel().busyTime(endTick_)),
-         "channel busy time");
-    line("dram.channel.transfers", dram_->channel().numTransfers(),
-         "channel reservations");
-
-    line("fabric.bytes", fabric_->totalBytes(), "fabric payload bytes");
-    line("fabric.transfers", fabric_->numTransfers(),
-         "fabric transactions");
-    line("fabric.occupancy", fabric_->occupancy(endTick_),
-         "fraction of time busy");
-
-    for (const auto &acc : accs_) {
-        const std::string prefix = acc->name();
-        line(prefix + ".tasks", acc->tasksExecuted(), "tasks completed");
-        line(prefix + ".compute_busy_us",
-             toUs(acc->computeBusyTime(endTick_)), "compute busy time");
-        line(prefix + ".spm.read_bytes", acc->spm().readBytes(),
-             "scratchpad bytes read");
-        line(prefix + ".spm.write_bytes", acc->spm().writeBytes(),
-             "scratchpad bytes written");
-        line(prefix + ".spm.energy_pj", acc->spm().energyPJ(),
-             "scratchpad energy");
-        line(prefix + ".dma.dram_read_bytes",
-             acc->dma().bytesMoved(TrafficClass::DramRead),
-             "DRAM loads issued");
-        line(prefix + ".dma.dram_write_bytes",
-             acc->dma().bytesMoved(TrafficClass::DramWrite),
-             "DRAM write-backs issued");
-        line(prefix + ".dma.forward_bytes",
-             acc->dma().bytesMoved(TrafficClass::SpmForward),
-             "forwarded bytes pulled");
-    }
-
-    const RunMetrics &m = manager_->metrics();
-    line("manager.edges", m.edgesConsumed, "parent edges satisfied");
-    line("manager.forwards", m.forwards, "edges forwarded SPM-to-SPM");
-    line("manager.colocations", m.colocations, "edges colocated");
-    line("manager.dram_edges", m.dramEdges, "edges served from DRAM");
-    line("manager.writebacks_avoided", m.writebacksAvoided,
-         "outputs never sent to DRAM");
-    line("manager.nodes_finished", m.nodesFinished, "tasks completed");
-    line("manager.node_deadlines_met", m.nodeDeadlinesMet,
-         "tasks within deadline");
-    line("manager.dags_finished", m.dagsFinished, "DAGs completed");
-    line("manager.dag_deadlines_met", m.dagDeadlinesMet,
-         "DAGs within deadline");
-    line("manager.busy_us", toUs(m.managerBusyTime),
-         "modeled scheduling time");
-    line("manager.push_mean_us", toUs(Tick(m.pushLatency.mean())),
-         "mean ready-queue insert cost");
-    line("manager.queue_wait_mean_us", toUs(Tick(m.queueWait.mean())),
-         "mean ready-to-launch wait");
-    line("manager.queue_wait_max_us", toUs(Tick(m.queueWait.max())),
-         "max ready-to-launch wait");
-    line("manager.queue_depth_mean", m.queueDepth.mean(),
-         "mean queue length at insert");
-
     for (const Submission &sub : submissions_) {
         const AppOutcome &app = sub.outcome;
         line("app." + app.name + ".iterations", app.iterations,
@@ -247,20 +308,89 @@ Soc::dumpStats(std::ostream &os) const
     os << "---------- End Simulation Statistics ----------\n";
 }
 
+void
+Soc::writeStatsJson(std::ostream &os) const
+{
+    os << "{\n  \"schema\": \"relief-stats-v1\",\n  \"stats\": ";
+    stats_.dumpJsonStats(os, 4);
+    os << ",\n  \"apps\": [";
+    bool first = true;
+    for (const Submission &sub : submissions_) {
+        const AppOutcome &app = sub.outcome;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n    {\"name\": \"" << jsonEscape(app.name)
+           << "\", \"rel_deadline\": " << app.relDeadline
+           << ", \"iterations\": " << app.iterations
+           << ", \"deadlines_met\": " << app.deadlinesMet
+           << ", \"gmean_slowdown\": " << jsonNumber(app.meanSlowdown())
+           << ", \"max_slowdown\": " << jsonNumber(app.maxSlowdown())
+           << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
 TraceRecorder &
-Soc::enableTracing()
+Soc::enableTracing(Tick sample_period)
 {
     if (!trace_) {
         trace_ = std::make_unique<TraceRecorder>();
         manager_->setTrace(trace_.get());
     }
+    if (sample_period > 0 && !sampler_) {
+        sampler_ = std::make_unique<IntervalSampler>(sim_, *trace_,
+                                                     sample_period);
+        addSamplerProbes();
+    }
     return *trace_;
+}
+
+void
+Soc::addSamplerProbes()
+{
+    sampler_->addProbe("manager.ready_queue_depth", [this] {
+        double depth = 0.0;
+        for (const ReadyQueue &q : manager_->readyQueues())
+            depth += double(q.size());
+        return depth;
+    });
+
+    // Utilization over the last sampling interval: bytes moved since
+    // the previous probe call against the channel's peak rate.
+    auto last = std::make_shared<std::pair<Tick, std::uint64_t>>(0, 0);
+    sampler_->addProbe("dram.bandwidth_utilization", [this, last] {
+        Tick t = sim_.now();
+        std::uint64_t bytes = dram_->totalBytes();
+        Tick dt = t - last->first;
+        std::uint64_t db = bytes - last->second;
+        *last = {t, bytes};
+        if (dt == 0)
+            return 0.0;
+        double gbs = double(db) / (double(dt) * 1e-12) / 1e9;
+        return std::min(1.0, gbs / config_.mem.peakGBs);
+    });
+
+    sampler_->addProbe("dma.outstanding_bytes", [this] {
+        std::uint64_t bytes = 0;
+        for (const auto &acc : accs_)
+            bytes += acc->dma().outstandingBytes();
+        return double(bytes);
+    });
+
+    for (const auto &acc_ptr : accs_) {
+        Accelerator *acc = acc_ptr.get();
+        sampler_->addProbe(acc->name() + ".occupancy",
+                           [acc] { return acc->busy() ? 1.0 : 0.0; });
+    }
 }
 
 Tick
 Soc::run(Tick limit)
 {
     runLimit_ = limit;
+    if (sampler_)
+        sampler_->start();
     endTick_ = sim_.run(limit);
     return endTick_;
 }

@@ -34,6 +34,8 @@
 #include "mem/main_memory.hh"
 #include "sched/policy.hh"
 #include "sim/simulator.hh"
+#include "stats/registry.hh"
+#include "trace/interval_sampler.hh"
 #include "trace/trace.hh"
 #include "workload/scenario.hh"
 
@@ -145,11 +147,23 @@ class Soc
     /** Run to completion or @p limit; returns the final tick. */
     Tick run(Tick limit = maxTick);
 
-    /** Start recording a schedule trace (see src/trace). */
-    TraceRecorder &enableTracing();
+    /**
+     * Start recording a schedule trace (see src/trace). Also arms an
+     * IntervalSampler that emits counter tracks (ready-queue depth,
+     * DRAM bandwidth utilization, outstanding DMA bytes, accelerator
+     * occupancy) every @p sample_period ticks; pass 0 to record spans
+     * only.
+     */
+    TraceRecorder &enableTracing(Tick sample_period = fromUs(10.0));
 
     /** The active trace recorder, or nullptr. */
     TraceRecorder *trace() { return trace_.get(); }
+
+    /** The counter-track sampler, or nullptr when tracing is off. */
+    IntervalSampler *sampler() { return sampler_.get(); }
+
+    /** Every registered model stat (see stats/registry.hh). */
+    const StatRegistry &stats() const { return stats_; }
 
     /** Collect the metrics of the run so far. */
     MetricsReport report() const;
@@ -161,8 +175,17 @@ class Soc
      */
     void dumpStats(std::ostream &os) const;
 
+    /**
+     * Stable-schema JSON stats document ("relief-stats-v1"): the
+     * registry's stats object plus an "apps" array of per-application
+     * outcomes. Written by `relief_sim --stats-json FILE`.
+     */
+    void writeStatsJson(std::ostream &os) const;
+
   private:
     void onDagComplete(Dag *dag);
+    void registerStats();
+    void addSamplerProbes();
 
     SocConfig config_;
     Simulator sim_;
@@ -180,6 +203,8 @@ class Soc
     };
     std::vector<Submission> submissions_;
     std::unique_ptr<TraceRecorder> trace_;
+    std::unique_ptr<IntervalSampler> sampler_;
+    StatRegistry stats_;
     Tick runLimit_ = maxTick;
     Tick endTick_ = 0;
 };

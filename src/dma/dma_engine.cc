@@ -2,10 +2,25 @@
 
 #include <utility>
 
+#include "sim/debug.hh"
 #include "sim/logging.hh"
 
 namespace relief
 {
+
+const char *
+trafficClassName(TrafficClass cls)
+{
+    switch (cls) {
+      case TrafficClass::DramRead:
+        return "dram-read";
+      case TrafficClass::DramWrite:
+        return "dram-write";
+      case TrafficClass::SpmForward:
+        return "spm-forward";
+    }
+    return "?";
+}
 
 DmaEngine::DmaEngine(Simulator &sim, std::string name, Interconnect &fabric,
                      PortId dram_port, MainMemory &dram,
@@ -33,10 +48,17 @@ DmaEngine::launch(std::vector<BandwidthResource *> path,
     // Producer-side read energy of forwards is accounted by the
     // caller, which knows which scratchpad it pulled from.
     accountTraffic(bytes, cls);
+    DPRINTF(Dma, trafficClassName(cls), " launch ", bytes,
+            " bytes, done at ", timing.end);
 
-    if (on_done) {
-        sim().at(timing.end, std::move(on_done), name() + ".done");
-    }
+    outstanding_ += bytes;
+    sim().at(timing.end,
+             [this, bytes, cb = std::move(on_done)]() {
+                 outstanding_ -= bytes;
+                 if (cb)
+                     cb();
+             },
+             name() + ".done");
     return timing.end;
 }
 
@@ -46,6 +68,9 @@ DmaEngine::launchChunked(std::vector<BandwidthResource *> path,
                          Callback on_done)
 {
     accountTraffic(bytes, cls);
+    DPRINTF(Dma, trafficClassName(cls), " chunked launch ", bytes,
+            " bytes in ", config_.burstBytes, "-byte bursts");
+    outstanding_ += bytes;
 
     // Claim one burst now; each burst's completion event claims the
     // next, so competing streams interleave at burst granularity.
@@ -75,7 +100,8 @@ DmaEngine::issueNextChunk(const std::shared_ptr<ChunkState> &state)
     auto timing = reserveTransfer(state->path, now(), n);
     fabric_.recordTransfer(timing.start, timing.end, n);
     sim().at(timing.end,
-             [this, state]() {
+             [this, state, n]() {
+                 outstanding_ -= n;
                  if (state->remaining > 0) {
                      issueNextChunk(state);
                  } else if (state->onDone) {
@@ -162,9 +188,15 @@ DmaEngine::streamFrom(Scratchpad &producer, PortId producer_port,
     auto timing = reserveTransfer(path, now(), bytes);
     timing.end += config_.streamSetupLatency;
     fabric_.recordTransfer(timing.start, timing.end, bytes);
-    if (on_done) {
-        sim().at(timing.end, std::move(on_done), name() + ".streamDone");
-    }
+    DPRINTF(Dma, "stream ", bytes, " bytes, done at ", timing.end);
+    outstanding_ += bytes;
+    sim().at(timing.end,
+             [this, bytes, cb = std::move(on_done)]() {
+                 outstanding_ -= bytes;
+                 if (cb)
+                     cb();
+             },
+             name() + ".streamDone");
     return timing.end;
 }
 

@@ -36,6 +36,9 @@ enum class TrafficClass
     SpmForward, ///< producer SPM -> local SPM (forward).
 };
 
+/** Printable name of @p cls ("dram-read", ...). */
+const char *trafficClassName(TrafficClass cls);
+
 /** Configuration for DmaEngine. */
 struct DmaConfig
 {
@@ -112,6 +115,10 @@ class DmaEngine : public SimObject
 
     std::uint64_t bytesMoved(TrafficClass cls) const;
 
+    /** Bytes launched but not yet delivered, across both channels —
+     *  the IntervalSampler's memory-pressure probe. */
+    std::uint64_t outstandingBytes() const { return outstanding_; }
+
     void resetStats();
 
   private:
@@ -142,6 +149,7 @@ class DmaEngine : public SimObject
     Counter dramReadBytes_;
     Counter dramWriteBytes_;
     Counter forwardBytes_;
+    std::uint64_t outstanding_ = 0;
 };
 
 } // namespace relief

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "mem/bandwidth_resource.hh"
+#include "sim/debug.hh"
 #include "sim/simulator.hh"
 #include "stats/interval_union.hh"
 #include "stats/stats.hh"
@@ -45,6 +46,8 @@ class Interconnect : public SimObject
         busy_.add(start, end);
         bytes_.add(bytes);
         transfers_.add(1);
+        DPRINTF(Fabric, bytes, " bytes reserved [", start, ", ", end,
+                ")");
     }
 
     /** Time during which at least one transaction was in flight. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/debug.hh"
 #include "sim/logging.hh"
 
 namespace relief
@@ -134,6 +135,10 @@ HardwareManager::scheduleReadyNodes(std::vector<Node *> ready)
         metrics_.pushLatency.sample(double(push));
         metrics_.queueDepth.sample(
             double(queues_[accIndex(node->params.type)].size()));
+        metrics_.queueDepthHist.sample(
+            double(queues_[accIndex(node->params.type)].size()));
+        DPRINTF(Sched, "node ", node->label, " ready for ",
+                accTypeName(node->params.type));
         cost += push;
     }
     Tick done = occupyManager(cost);
@@ -186,6 +191,9 @@ HardwareManager::beginLaunch(AccState &state, Node *node)
     node->status = NodeStatus::Running;
     node->launchedAt = now();
     metrics_.queueWait.sample(double(now() - node->readyAt));
+    metrics_.queueWaitUs.sample(toUs(now() - node->readyAt));
+    DPRINTF(Sched, "launch ", node->label, " on ", state.acc->name(),
+            node->isFwd ? " (forwarding)" : "");
 
     // Which local partitions hold parent outputs (colocation)?
     state.colocMask = 0;
@@ -450,6 +458,11 @@ HardwareManager::handleNodeCompletion(AccState &state, Node *node,
         metrics_.pushLatency.sample(double(push));
         metrics_.queueDepth.sample(
             double(queues_[accIndex(r->params.type)].size()));
+        metrics_.queueDepthHist.sample(
+            double(queues_[accIndex(r->params.type)].size()));
+        DPRINTF(Sched, "node ", r->label, " ready for ",
+                accTypeName(r->params.type), " (parent ", node->label,
+                " finished)");
         cost += push;
     }
     Tick done = occupyManager(cost);

@@ -43,6 +43,10 @@ struct RunMetrics
     // --- Queueing behaviour ---
     Accum queueWait;  ///< Ready -> launch time per node (ticks).
     Accum queueDepth; ///< Ready-queue length sampled at each insert.
+    /** Distribution of ready -> launch waits (microseconds). */
+    Histogram queueWaitUs{0.0, 100.0, 20};
+    /** Distribution of ready-queue lengths at insert. */
+    Histogram queueDepthHist{0.0, 16.0, 16};
 
     double
     nodeDeadlineFraction() const

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "sim/debug.hh"
 #include "sim/logging.hh"
 
 namespace relief
@@ -40,6 +41,7 @@ BankedMemory::path(std::uint64_t stream_hint)
 {
     std::uint64_t h = stream_hint * 2654435761ull;
     auto bank_index = std::size_t(h % std::uint64_t(banks_.size()));
+    DPRINTF(Mem, "stream ", stream_hint, " -> bank ", bank_index);
     return {banks_[bank_index].get(), &channel()};
 }
 

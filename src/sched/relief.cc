@@ -3,13 +3,15 @@
 #include <algorithm>
 
 #include "sched/baseline_policies.hh"
+#include "sim/debug.hh"
 
 namespace relief
 {
 
 bool
 ReliefPolicy::isFeasible(ReadyQueue &queue, const Node *fnode,
-                         std::size_t index, Tick now)
+                         std::size_t index, Tick now,
+                         const Node **victim, STick *victim_slack)
 {
     bool can_forward = true;
     // The queue is laxity-sorted (after the promoted prefix), so the
@@ -22,6 +24,11 @@ ReliefPolicy::isFeasible(ReadyQueue &queue, const Node *fnode,
         STick curr_laxity = node->laxityKey - STick(now);
         if (!node->isFwd && curr_laxity > 0) {
             can_forward = curr_laxity > STick(fnode->predictedRuntime);
+            if (victim)
+                *victim = node;
+            if (victim_slack)
+                *victim_slack =
+                    curr_laxity - STick(fnode->predictedRuntime);
             break;
         }
     }
@@ -64,9 +71,30 @@ ReliefPolicy::onNodesReady(const std::vector<Node *> &ready,
         auto &q = queues[t];
         for (Node *node : fwd_nodes[t]) {
             std::size_t index = q.findLaxityPos(node);
-            if (max_forwards > 0 &&
-                (!feasibilityCheck_ ||
-                 isFeasible(q, node, index, ctx.now))) {
+
+            PromotionDecision d;
+            d.when = ctx.now;
+            d.node = node->id;
+            d.label = node->label;
+            d.type = node->params.type;
+            d.laxity = node->laxityKey - STick(ctx.now);
+            d.queueDepth = q.size();
+            const Node *victim = nullptr;
+            if (max_forwards <= 0) {
+                d.reason = PromotionReason::NoIdleInstance;
+            } else if (!feasibilityCheck_) {
+                d.reason = PromotionReason::CheckDisabled;
+            } else if (isFeasible(q, node, index, ctx.now, &victim,
+                                  &d.victimSlack)) {
+                d.reason = PromotionReason::Feasible;
+            } else {
+                d.reason = PromotionReason::VictimWouldMiss;
+            }
+            if (victim)
+                d.victim = victim->label;
+            d.granted = promotionGranted(d.reason);
+
+            if (d.granted) {
                 q.pushFront(node);
                 node->isFwd = true;
                 --max_forwards;
@@ -76,6 +104,8 @@ ReliefPolicy::onNodesReady(const std::vector<Node *> &ready,
                 node->isFwd = false;
                 ++throttled_;
             }
+            DPRINTFN(Sched, ctx.now, "relief", d.summary());
+            log_.record(std::move(d));
         }
     }
 }

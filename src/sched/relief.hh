@@ -21,6 +21,7 @@
 #ifndef RELIEF_SCHED_RELIEF_HH
 #define RELIEF_SCHED_RELIEF_HH
 
+#include "sched/decision_log.hh"
 #include "sched/policy.hh"
 
 namespace relief
@@ -73,6 +74,10 @@ class ReliefPolicy : public Policy
     std::uint64_t numPromotions() const { return promotions_; }
     std::uint64_t numThrottled() const { return throttled_; }
 
+    /** Every promotion decision taken so far, in order. */
+    const DecisionLog &decisionLog() const { return log_; }
+    DecisionLog &decisionLog() { return log_; }
+
     /**
      * Algorithm 2: can @p fnode jump to the head of @p queue without
      * pushing a waiting node past its deadline? On success, charges
@@ -82,9 +87,16 @@ class ReliefPolicy : public Policy
      * @param fnode Forwarding candidate.
      * @param index The candidate's laxity-sorted position in @p queue.
      * @param now   Current time.
+     * @param victim Optional out: the first non-forwarding
+     *               positive-laxity node that bounds the check
+     *               (nullptr when the scan found none).
+     * @param victim_slack Optional out: laxity the victim keeps after
+     *               absorbing fnode's runtime (negative on failure).
      */
     static bool isFeasible(ReadyQueue &queue, const Node *fnode,
-                           std::size_t index, Tick now);
+                           std::size_t index, Tick now,
+                           const Node **victim = nullptr,
+                           STick *victim_slack = nullptr);
 
   private:
     bool laxDispatch_;
@@ -92,6 +104,7 @@ class ReliefPolicy : public Policy
     bool feasibilityCheck_ = true;
     std::uint64_t promotions_ = 0;
     std::uint64_t throttled_ = 0;
+    DecisionLog log_;
 };
 
 } // namespace relief

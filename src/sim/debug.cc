@@ -1,0 +1,107 @@
+#include "sim/debug.hh"
+
+#include <array>
+#include <sstream>
+
+namespace relief
+{
+
+namespace
+{
+std::array<bool, numDebugFlags> enabledFlags{};
+} // namespace
+
+const char *
+debugFlagName(DebugFlag flag)
+{
+    switch (flag) {
+      case DebugFlag::Sched:
+        return "Sched";
+      case DebugFlag::Dma:
+        return "Dma";
+      case DebugFlag::Mem:
+        return "Mem";
+      case DebugFlag::Fabric:
+        return "Fabric";
+      case DebugFlag::Stats:
+        return "Stats";
+    }
+    return "?";
+}
+
+const std::vector<DebugFlag> &
+allDebugFlags()
+{
+    static const std::vector<DebugFlag> flags = {
+        DebugFlag::Sched, DebugFlag::Dma, DebugFlag::Mem,
+        DebugFlag::Fabric, DebugFlag::Stats,
+    };
+    return flags;
+}
+
+bool
+debugFlagEnabled(DebugFlag flag)
+{
+    return enabledFlags[std::size_t(flag)];
+}
+
+void
+setDebugFlag(DebugFlag flag, bool enabled)
+{
+    enabledFlags[std::size_t(flag)] = enabled;
+}
+
+bool
+setDebugFlagByName(const std::string &name, bool enabled)
+{
+    for (DebugFlag flag : allDebugFlags()) {
+        if (name == debugFlagName(flag)) {
+            setDebugFlag(flag, enabled);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+setDebugFlags(const std::string &csv)
+{
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        std::string item = csv.substr(pos, comma - pos);
+        if (!item.empty() && !setDebugFlagByName(item)) {
+            std::ostringstream valid;
+            for (DebugFlag flag : allDebugFlags())
+                valid << (valid.tellp() > 0 ? "," : "")
+                      << debugFlagName(flag);
+            fatal("unknown debug flag '", item, "' (valid: ", valid.str(),
+                  ")");
+        }
+        pos = comma + 1;
+    }
+}
+
+void
+clearDebugFlags()
+{
+    enabledFlags.fill(false);
+}
+
+void
+debugPrint(DebugFlag flag, Tick when, const std::string &who,
+           const std::string &msg)
+{
+    (void)flag;
+    // gem5's classic "tick: object: message" layout; the fixed-width
+    // tick column keeps interleaved categories visually aligned.
+    std::ostringstream os;
+    os.width(12);
+    os << when;
+    os << ": " << who << ": " << msg;
+    detail::logLine(LogLevel::Debug, os.str());
+}
+
+} // namespace relief

@@ -8,7 +8,26 @@ namespace relief
 namespace
 {
 bool informEnabled = true;
+LogSink sink;
 } // namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Fatal:
+        return "fatal";
+      case LogLevel::Panic:
+        return "panic";
+    }
+    return "?";
+}
 
 void
 setInformEnabled(bool enabled)
@@ -16,15 +35,32 @@ setInformEnabled(bool enabled)
     informEnabled = enabled;
 }
 
+LogSink
+setLogSink(LogSink new_sink)
+{
+    LogSink previous = std::move(sink);
+    sink = std::move(new_sink);
+    return previous;
+}
+
 namespace detail
 {
 
 void
-logLine(const char *level, const std::string &msg)
+logLine(LogLevel level, const std::string &msg)
 {
-    if (level == std::string("info") && !informEnabled)
+    if (level == LogLevel::Info && !informEnabled)
         return;
-    std::fprintf(stderr, "%s: %s\n", level, msg.c_str());
+    if (sink) {
+        sink(level, msg);
+        return;
+    }
+    // Debug lines carry their own "tick: object:" prefix; every other
+    // level is prefixed with its severity.
+    if (level == LogLevel::Debug)
+        std::fprintf(stderr, "%s\n", msg.c_str());
+    else
+        std::fprintf(stderr, "%s: %s\n", logLevelName(level), msg.c_str());
 }
 
 } // namespace detail

@@ -4,18 +4,47 @@
  *
  * panic() is for internal invariant violations (simulator bugs); fatal()
  * is for user errors (bad configuration). Both throw rather than abort so
- * that unit tests can assert on them. warn()/inform() print to stderr.
+ * that unit tests can assert on them. warn()/inform() go through a
+ * settable sink (default: stderr) so tests and drivers can capture or
+ * redirect log output; see setLogSink().
  */
 
 #ifndef RELIEF_SIM_LOGGING_HH
 #define RELIEF_SIM_LOGGING_HH
 
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace relief
 {
+
+/** Severity of one log line (indexes the level-name table). */
+enum class LogLevel
+{
+    Debug, ///< DPRINTF output (sim/debug.hh).
+    Info,  ///< inform()
+    Warn,  ///< warn()
+    Fatal, ///< fatal(), logged before the throw
+    Panic, ///< panic(), logged before the throw
+};
+
+/** Printable name of @p level ("info", "warn", ...). */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Receives every log line: the severity plus the unprefixed message
+ * (no trailing newline). The default sink prints "level: message" to
+ * stderr; debug lines are printed bare (they carry their own
+ * timestamp prefix).
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/** Replace the log sink; an empty function restores the default
+ *  stderr sink. Returns the previous sink so callers can chain or
+ *  restore it. */
+LogSink setLogSink(LogSink sink);
 
 /** Thrown by panic(): an internal simulator invariant was violated. */
 class PanicError : public std::logic_error
@@ -34,7 +63,7 @@ class FatalError : public std::runtime_error
 namespace detail
 {
 
-void logLine(const char *level, const std::string &msg);
+void logLine(LogLevel level, const std::string &msg);
 
 inline void
 format(std::ostringstream &)
@@ -66,7 +95,7 @@ template <typename... Args>
 panic(const Args &...args)
 {
     auto msg = detail::concat(args...);
-    detail::logLine("panic", msg);
+    detail::logLine(LogLevel::Panic, msg);
     throw PanicError(msg);
 }
 
@@ -76,7 +105,7 @@ template <typename... Args>
 fatal(const Args &...args)
 {
     auto msg = detail::concat(args...);
-    detail::logLine("fatal", msg);
+    detail::logLine(LogLevel::Fatal, msg);
     throw FatalError(msg);
 }
 
@@ -85,7 +114,7 @@ template <typename... Args>
 void
 warn(const Args &...args)
 {
-    detail::logLine("warn", detail::concat(args...));
+    detail::logLine(LogLevel::Warn, detail::concat(args...));
 }
 
 /** Report normal operating status. */
@@ -93,7 +122,7 @@ template <typename... Args>
 void
 inform(const Args &...args)
 {
-    detail::logLine("info", detail::concat(args...));
+    detail::logLine(LogLevel::Info, detail::concat(args...));
 }
 
 /** Enable/disable inform() output globally (benches keep it quiet). */

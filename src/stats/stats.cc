@@ -38,6 +38,59 @@ Accum::reset()
     *this = Accum();
 }
 
+Histogram::Histogram(double lo, double hi, std::size_t num_buckets)
+    : lo_(lo), hi_(hi),
+      bucketWidth_((hi - lo) / double(num_buckets ? num_buckets : 1)),
+      buckets_(num_buckets ? num_buckets : 1, 0)
+{
+}
+
+void
+Histogram::sample(double value, std::uint64_t weight)
+{
+    for (std::uint64_t i = 0; i < weight; ++i)
+        summary_.sample(value);
+    if (value < lo_) {
+        underflow_ += weight;
+        return;
+    }
+    if (value >= hi_) {
+        overflow_ += weight;
+        return;
+    }
+    auto index = std::size_t((value - lo_) / bucketWidth_);
+    if (index >= buckets_.size()) // float round-up at the top edge
+        index = buckets_.size() - 1;
+    buckets_[index] += weight;
+}
+
+double
+Histogram::bucketLo(std::size_t index) const
+{
+    return lo_ + double(index) * bucketWidth_;
+}
+
+double
+Histogram::bucketHi(std::size_t index) const
+{
+    return lo_ + double(index + 1) * bucketWidth_;
+}
+
+std::uint64_t
+Histogram::bucketCount(std::size_t index) const
+{
+    return buckets_[index];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    summary_.reset();
+}
+
 double
 geomean(const std::vector<double> &values, double floor)
 {

@@ -53,6 +53,50 @@ class Accum
 };
 
 /**
+ * Fixed-range linear histogram of scalar samples. Values below the
+ * range land in the underflow bin, values at or above the upper edge
+ * in the overflow bin; [lo, hi) is split into @p num_buckets equal
+ * buckets. The full Accum summary (count/mean/min/max) is tracked
+ * alongside, so one histogram answers both "what's the distribution"
+ * and "what's the mean".
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t num_buckets);
+
+    void sample(double value, std::uint64_t weight = 1);
+
+    std::size_t numBuckets() const { return buckets_.size(); }
+    double bucketLo(std::size_t index) const;
+    double bucketHi(std::size_t index) const;
+    std::uint64_t bucketCount(std::size_t index) const;
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Total samples, including under/overflow. */
+    std::uint64_t count() const { return summary_.count(); }
+    double mean() const { return summary_.mean(); }
+    double min() const { return summary_.min(); }
+    double max() const { return summary_.max(); }
+    const Accum &summary() const { return summary_; }
+
+    double rangeLo() const { return lo_; }
+    double rangeHi() const { return hi_; }
+
+    void reset();
+
+  private:
+    double lo_;
+    double hi_;
+    double bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    Accum summary_;
+};
+
+/**
  * Geometric mean of strictly positive values. Values <= 0 are clamped to
  * @p floor first (the paper's gmean bars do the same for zero entries).
  */

@@ -1,0 +1,52 @@
+#include "trace/interval_sampler.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+IntervalSampler::IntervalSampler(Simulator &sim, TraceRecorder &trace,
+                                 Tick period)
+    : SimObject(sim, "sampler"), trace_(trace), period_(period)
+{
+    RELIEF_ASSERT(period_ > 0, "sampler period must be positive");
+}
+
+void
+IntervalSampler::addProbe(const std::string &track_name, Probe probe)
+{
+    RELIEF_ASSERT(probe != nullptr,
+                  "probe '", track_name, "' needs a callable");
+    probes_.emplace_back(trace_.counterTrack(track_name),
+                         std::move(probe));
+}
+
+void
+IntervalSampler::start()
+{
+    if (pending_.pending())
+        return;
+    sampleOnce();
+}
+
+void
+IntervalSampler::stop()
+{
+    pending_.cancel();
+}
+
+void
+IntervalSampler::sampleOnce()
+{
+    for (const auto &[track, probe] : probes_)
+        trace_.counter(track, now(), probe());
+    // Re-arm only while the model still has work in flight; otherwise
+    // the sampler would keep an idle event queue spinning forever.
+    if (!sim().events().empty())
+        pending_ = sim().after(period_, [this] { sampleOnce(); },
+                               "sampler.tick");
+}
+
+} // namespace relief

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "stats/json.hh"
 
 namespace relief
 {
@@ -45,6 +46,38 @@ TraceRecorder::laneName(int lane_id) const
     return laneNames_[std::size_t(lane_id)];
 }
 
+int
+TraceRecorder::counterTrack(const std::string &name)
+{
+    auto it = trackIds_.find(name);
+    if (it != trackIds_.end())
+        return it->second;
+    int id = int(trackNames_.size());
+    trackNames_.push_back(name);
+    trackIds_.emplace(name, id);
+    return id;
+}
+
+void
+TraceRecorder::counter(int track_id, Tick when, double value)
+{
+    RELIEF_ASSERT(track_id >= 0 && track_id < numCounterTracks(),
+                  "counter sample on unknown track ", track_id);
+    CounterSample s;
+    s.track = track_id;
+    s.when = when;
+    s.value = value;
+    samples_.push_back(s);
+}
+
+const std::string &
+TraceRecorder::counterTrackName(int track_id) const
+{
+    RELIEF_ASSERT(track_id >= 0 && track_id < numCounterTracks(),
+                  "unknown counter track ", track_id);
+    return trackNames_[std::size_t(track_id)];
+}
+
 Tick
 TraceRecorder::horizon() const
 {
@@ -53,25 +86,6 @@ TraceRecorder::horizon() const
         h = std::max(h, s.end);
     return h;
 }
-
-namespace
-{
-
-/** Minimal JSON string escaping (quotes and backslashes). */
-std::string
-jsonEscape(const std::string &in)
-{
-    std::string out;
-    out.reserve(in.size());
-    for (char c : in) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
-}
-
-} // namespace
 
 void
 TraceRecorder::writeChromeJson(std::ostream &os) const
@@ -94,6 +108,18 @@ TraceRecorder::writeChromeJson(std::ostream &os) const
            << jsonEscape(s.category) << "\",\"ph\":\"X\",\"ts\":"
            << toUs(s.start) << ",\"dur\":" << toUs(s.end - s.start)
            << ",\"pid\":1,\"tid\":" << s.lane << "}";
+    }
+    // Counter tracks: Perfetto groups "C" events by name and renders
+    // each as a line chart keyed on args.value.
+    for (const CounterSample &s : samples_) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  {\"name\":\""
+           << jsonEscape(trackNames_[std::size_t(s.track)])
+           << "\",\"ph\":\"C\",\"ts\":" << toUs(s.when)
+           << ",\"pid\":1,\"args\":{\"value\":" << jsonNumber(s.value)
+           << "}}";
     }
     os << "\n]\n";
 }
@@ -142,6 +168,7 @@ void
 TraceRecorder::clear()
 {
     spans_.clear();
+    samples_.clear();
 }
 
 } // namespace relief

@@ -8,6 +8,13 @@
  * Perfetto) or as an ASCII Gantt chart for terminals. The hardware
  * manager emits load/compute/write-back/scheduler spans when a
  * recorder is attached (Soc::enableTracing()).
+ *
+ * Alongside spans, the recorder collects *counter tracks*: named
+ * time-series sampled by the IntervalSampler (ready-queue depth, DRAM
+ * bandwidth utilization, outstanding DMA bytes, accelerator
+ * occupancy). They are rendered as Chrome "C" events, which Perfetto
+ * draws as per-name line charts under the span lanes — one load shows
+ * both the schedule and the memory pressure it causes.
  */
 
 #ifndef RELIEF_TRACE_TRACE_HH
@@ -33,6 +40,14 @@ struct TraceSpan
     Tick end = 0;
 };
 
+/** One sample on a counter track. */
+struct CounterSample
+{
+    int track = 0;
+    Tick when = 0;
+    double value = 0.0;
+};
+
 class TraceRecorder
 {
   public:
@@ -49,10 +64,27 @@ class TraceRecorder
     int numLanes() const { return int(laneNames_.size()); }
     const std::string &laneName(int lane_id) const;
 
+    /** Get or create the counter track named @p name; returns its id.
+     *  Track ids are dense and ordered by first use, independent of
+     *  lane ids. */
+    int counterTrack(const std::string &name);
+
+    /** Record @p value on @p track_id at time @p when. */
+    void counter(int track_id, Tick when, double value);
+
+    int numCounterTracks() const { return int(trackNames_.size()); }
+    const std::string &counterTrackName(int track_id) const;
+    std::size_t numCounterSamples() const { return samples_.size(); }
+    const std::vector<CounterSample> &counterSamples() const
+    {
+        return samples_;
+    }
+
     /** Latest end time across all spans. */
     Tick horizon() const;
 
-    /** Chrome trace-event JSON (complete events + lane metadata). */
+    /** Chrome trace-event JSON: complete events, lane metadata, and
+     *  one "C" event per counter sample. */
     void writeChromeJson(std::ostream &os) const;
 
     /**
@@ -69,6 +101,9 @@ class TraceRecorder
     std::vector<std::string> laneNames_;
     std::map<std::string, int> laneIds_;
     std::vector<TraceSpan> spans_;
+    std::vector<std::string> trackNames_;
+    std::map<std::string, int> trackIds_;
+    std::vector<CounterSample> samples_;
 };
 
 } // namespace relief

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "core/cli.hh"
+#include "sim/debug.hh"
 #include "sim/logging.hh"
 
 namespace relief
@@ -164,6 +165,33 @@ TEST(CliTest, ParsesStreamForwarding)
     auto config = parseCliOptions({"--stream-forwarding"});
     EXPECT_EQ(config.soc.manager.forwardMechanism,
               ForwardMechanism::StreamBuffer);
+}
+
+TEST(CliTest, ParsesStatsJsonPath)
+{
+    EXPECT_EQ(parseCliOptions({}).statsJsonPath, "");
+    auto config = parseCliOptions({"--stats-json", "out.json"});
+    EXPECT_EQ(config.statsJsonPath, "out.json");
+    EXPECT_THROW(parseCliOptions({"--stats-json"}), FatalError);
+}
+
+TEST(CliTest, DebugFlagsAreAppliedImmediately)
+{
+    clearDebugFlags();
+    auto config = parseCliOptions({"--debug-flags", "Sched,Dma"});
+    EXPECT_EQ(config.debugFlags, "Sched,Dma");
+    EXPECT_TRUE(debugFlagEnabled(DebugFlag::Sched));
+    EXPECT_TRUE(debugFlagEnabled(DebugFlag::Dma));
+    EXPECT_FALSE(debugFlagEnabled(DebugFlag::Mem));
+    clearDebugFlags();
+}
+
+TEST(CliTest, UnknownDebugFlagIsFatal)
+{
+    clearDebugFlags();
+    EXPECT_THROW(parseCliOptions({"--debug-flags", "Sched,Typo"}),
+                 FatalError);
+    clearDebugFlags();
 }
 
 TEST(CliTest, ParsedConfigActuallyRuns)

@@ -9,6 +9,7 @@
 #include "core/experiment.hh"
 #include "core/periodic.hh"
 #include "sched/relief.hh"
+#include "support/mini_json.hh"
 
 namespace relief
 {
@@ -194,6 +195,45 @@ TEST(StatsDumpTest, ValuesMatchReport)
     auto value_str = stats.substr(pos + 44, 17);
     EXPECT_NE(value_str.find(std::to_string(report.run.colocations)),
               std::string::npos);
+}
+
+TEST(StatsDumpTest, RegistryMirrorsTheReport)
+{
+    Soc soc;
+    soc.submit(buildApp(AppId::Gru));
+    soc.run(fromMs(50.0));
+    MetricsReport report = soc.report();
+
+    const StatRegistry &stats = soc.stats();
+    EXPECT_TRUE(stats.contains("sim.ticks"));
+    EXPECT_EQ(stats.kind("dram.read_bytes"), StatKind::Counter);
+    EXPECT_EQ(stats.kind("fabric.occupancy"), StatKind::Formula);
+    EXPECT_EQ(stats.kind("manager.queue_wait_us"), StatKind::Histogram);
+    EXPECT_EQ(stats.value("manager.colocations"),
+              double(report.run.colocations));
+    EXPECT_EQ(stats.value("dram.read_bytes") +
+                  stats.value("dram.write_bytes"),
+              double(report.dramBytes));
+    // Every launch left one queue-wait sample.
+    EXPECT_GE(stats.histogram("manager.queue_wait_us").count(),
+              report.run.nodesFinished);
+    EXPECT_GT(stats.histogram("manager.queue_wait_us").count(), 0u);
+}
+
+TEST(StatsDumpTest, JsonExportIsValid)
+{
+    Soc soc;
+    soc.submit(buildApp(AppId::Canny));
+    soc.run(fromMs(50.0));
+    std::ostringstream os;
+    soc.writeStatsJson(os);
+    std::string json = os.str();
+    EXPECT_TRUE(test::miniJsonValid(json)) << json.substr(0, 400);
+    EXPECT_NE(json.find("\"schema\": \"relief-stats-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"dram.read_bytes\""), std::string::npos);
+    EXPECT_NE(json.find("\"apps\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"canny\""), std::string::npos);
 }
 
 TEST(ExperimentTest, RunMixPolicyIsAThinWrapper)

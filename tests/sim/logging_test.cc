@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/logging.hh"
 
@@ -73,6 +75,77 @@ TEST(LoggingTest, WarnAndInformDoNotThrow)
     setInformEnabled(false);
     EXPECT_NO_THROW(inform("suppressed"));
     setInformEnabled(true);
+}
+
+TEST(LoggingTest, SinkCapturesWarnAndInform)
+{
+    std::vector<std::pair<LogLevel, std::string>> captured;
+    LogSink previous = setLogSink(
+        [&captured](LogLevel level, const std::string &msg) {
+            captured.emplace_back(level, msg);
+        });
+    warn("queue depth ", 9);
+    inform("run complete");
+    setLogSink(std::move(previous));
+
+    ASSERT_EQ(captured.size(), 2u);
+    EXPECT_EQ(captured[0].first, LogLevel::Warn);
+    EXPECT_EQ(captured[0].second, "queue depth 9");
+    EXPECT_EQ(captured[1].first, LogLevel::Info);
+    EXPECT_EQ(captured[1].second, "run complete");
+}
+
+TEST(LoggingTest, SinkSeesFatalAndPanicBeforeTheThrow)
+{
+    std::vector<LogLevel> levels;
+    LogSink previous = setLogSink(
+        [&levels](LogLevel level, const std::string &) {
+            levels.push_back(level);
+        });
+    EXPECT_THROW(fatal("boom"), FatalError);
+    EXPECT_THROW(panic("bug"), PanicError);
+    setLogSink(std::move(previous));
+
+    ASSERT_EQ(levels.size(), 2u);
+    EXPECT_EQ(levels[0], LogLevel::Fatal);
+    EXPECT_EQ(levels[1], LogLevel::Panic);
+}
+
+TEST(LoggingTest, SinkRespectsInformSuppression)
+{
+    std::size_t count = 0;
+    LogSink previous = setLogSink(
+        [&count](LogLevel, const std::string &) { ++count; });
+    setInformEnabled(false);
+    inform("dropped before the sink");
+    setInformEnabled(true);
+    inform("delivered");
+    setLogSink(std::move(previous));
+    EXPECT_EQ(count, 1u);
+}
+
+TEST(LoggingTest, EmptySinkRestoresDefaultAndReturnsPrevious)
+{
+    std::size_t count = 0;
+    setLogSink([&count](LogLevel, const std::string &) { ++count; });
+    // Replacing hands back the active sink...
+    LogSink captured = setLogSink(LogSink());
+    ASSERT_TRUE(captured);
+    captured(LogLevel::Warn, "direct call");
+    EXPECT_EQ(count, 1u);
+    // ...and the empty replacement means "default stderr sink", which
+    // must not loop back into the counter.
+    warn("to stderr");
+    EXPECT_EQ(count, 1u);
+}
+
+TEST(LoggingTest, LevelNamesAreStable)
+{
+    EXPECT_STREQ(logLevelName(LogLevel::Debug), "debug");
+    EXPECT_STREQ(logLevelName(LogLevel::Info), "info");
+    EXPECT_STREQ(logLevelName(LogLevel::Warn), "warn");
+    EXPECT_STREQ(logLevelName(LogLevel::Fatal), "fatal");
+    EXPECT_STREQ(logLevelName(LogLevel::Panic), "panic");
 }
 
 TEST(LoggingTest, MessageConcatenationHandlesMixedTypes)

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Minimal JSON syntax checker for tests.
+ *
+ * The simulator deliberately has no JSON library dependency, so tests
+ * that assert "this export really is JSON" (stats registry, decision
+ * log, Chrome traces) run the text through this small recursive-descent
+ * parser. It validates the RFC 8259 grammar — objects, arrays, strings
+ * with escapes, numbers, literals — but builds no value tree; tests
+ * pair it with substring checks for the fields they care about.
+ */
+
+#ifndef RELIEF_TESTS_SUPPORT_MINI_JSON_HH
+#define RELIEF_TESTS_SUPPORT_MINI_JSON_HH
+
+#include <cctype>
+#include <cstring>
+#include <string>
+
+namespace relief
+{
+namespace test
+{
+
+class MiniJsonParser
+{
+  public:
+    explicit MiniJsonParser(const std::string &text) : text_(text) {}
+
+    /** True when the whole input is exactly one JSON value. */
+    bool
+    parse()
+    {
+        pos_ = 0;
+        skipWs();
+        if (!parseValue())
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+    /** Offset of the first error (== size() on success). */
+    std::size_t errorPos() const { return pos_; }
+
+  private:
+    bool
+    parseValue()
+    {
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return parseString();
+          case 't':
+            return parseLiteral("true");
+          case 'f':
+            return parseLiteral("false");
+          case 'n':
+            return parseLiteral("null");
+          default:
+            return parseNumber();
+        }
+    }
+
+    bool
+    parseObject()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!parseString())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!parseValue())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    parseArray()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!parseValue())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    parseString()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // raw control character
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return false;
+                char esc = text_[pos_];
+                if (esc == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= text_.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(text_[pos_])))
+                            return false;
+                    }
+                } else if (!std::strchr("\"\\/bfnrt", esc)) {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        return false; // unterminated
+    }
+
+    bool
+    parseNumber()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            return false;
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos_;
+        if (peek() == '.') {
+            ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return false;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return false;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    parseLiteral(const char *lit)
+    {
+        std::size_t len = std::strlen(lit);
+        if (text_.compare(pos_, len, lit) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+/** Convenience wrapper: is @p text exactly one valid JSON value? */
+inline bool
+miniJsonValid(const std::string &text)
+{
+    return MiniJsonParser(text).parse();
+}
+
+} // namespace test
+} // namespace relief
+
+#endif // RELIEF_TESTS_SUPPORT_MINI_JSON_HH

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "core/soc.hh"
 #include "sim/logging.hh"
+#include "support/mini_json.hh"
+#include "trace/interval_sampler.hh"
 #include "trace/trace.hh"
 
 namespace relief
@@ -111,6 +114,118 @@ TEST(TraceRecorderTest, ClearDropsSpansKeepsLanes)
     EXPECT_EQ(trace.numLanes(), 1);
 }
 
+TEST(TraceRecorderTest, CounterTracksAreDeduplicatedAndOrdered)
+{
+    TraceRecorder trace;
+    int a = trace.counterTrack("dram.bw");
+    int b = trace.counterTrack("queue.depth");
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 1);
+    EXPECT_EQ(trace.counterTrack("dram.bw"), 0);
+    EXPECT_EQ(trace.numCounterTracks(), 2);
+    EXPECT_EQ(trace.counterTrackName(1), "queue.depth");
+    // Track ids are independent of lane ids.
+    EXPECT_EQ(trace.lane("acc0"), 0);
+}
+
+TEST(TraceRecorderTest, CounterSamplesRecorded)
+{
+    TraceRecorder trace;
+    int track = trace.counterTrack("depth");
+    trace.counter(track, 100, 3.0);
+    trace.counter(track, 200, 5.5);
+    ASSERT_EQ(trace.numCounterSamples(), 2u);
+    EXPECT_EQ(trace.counterSamples()[0].track, track);
+    EXPECT_EQ(trace.counterSamples()[0].when, 100u);
+    EXPECT_DOUBLE_EQ(trace.counterSamples()[1].value, 5.5);
+}
+
+TEST(TraceRecorderTest, UnknownCounterTrackPanics)
+{
+    TraceRecorder trace;
+    EXPECT_THROW(trace.counter(0, 0, 1.0), PanicError);
+    EXPECT_THROW(trace.counterTrackName(0), PanicError);
+}
+
+TEST(TraceRecorderTest, ChromeJsonHasCounterEvents)
+{
+    TraceRecorder trace;
+    int track = trace.counterTrack("dram.bandwidth_utilization");
+    trace.counter(track, fromUs(10.0), 0.5);
+    trace.counter(track, fromUs(20.0), 0.75);
+    std::ostringstream os;
+    trace.writeChromeJson(os);
+    std::string json = os.str();
+    EXPECT_TRUE(test::miniJsonValid(json)) << json;
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"dram.bandwidth_utilization\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"value\":0.5}"), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":20"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, JsonEscapesControlCharacters)
+{
+    TraceRecorder trace;
+    int lane_id = trace.lane("acc");
+    trace.span(lane_id, "line\nbreak\tand\x01" "ctl", 0, 10);
+    std::ostringstream os;
+    trace.writeChromeJson(os);
+    std::string json = os.str();
+    // Raw control bytes would break every JSON consumer.
+    EXPECT_TRUE(test::miniJsonValid(json)) << json;
+    EXPECT_NE(json.find("line\\nbreak\\tand\\u0001ctl"),
+              std::string::npos);
+}
+
+TEST(TraceRecorderTest, ClearDropsCounterSamplesKeepsTracks)
+{
+    TraceRecorder trace;
+    int track = trace.counterTrack("depth");
+    trace.counter(track, 10, 1.0);
+    trace.clear();
+    EXPECT_EQ(trace.numCounterSamples(), 0u);
+    EXPECT_EQ(trace.numCounterTracks(), 1);
+}
+
+TEST(IntervalSamplerTest, SamplesEveryPeriodWhileEventsPend)
+{
+    Simulator sim;
+    TraceRecorder trace;
+    IntervalSampler sampler(sim, trace, fromUs(10.0));
+    double depth = 2.0;
+    sampler.addProbe("depth", [&depth] { return depth; });
+    EXPECT_EQ(sampler.numProbes(), 1u);
+
+    // One real event at 95 us; the sampler must not outlive it by more
+    // than one period.
+    sim.at(fromUs(95.0), [&depth] { depth = 7.0; }, "workload");
+    sampler.start();
+    sim.run();
+
+    // Samples at 0, 10, ..., 100 us: the 90 us wakeup still saw the
+    // pending event and re-armed once past it.
+    ASSERT_EQ(trace.numCounterSamples(), 11u);
+    EXPECT_EQ(trace.counterSamples().front().when, 0u);
+    EXPECT_EQ(trace.counterSamples().back().when, fromUs(100.0));
+    EXPECT_DOUBLE_EQ(trace.counterSamples()[9].value, 2.0);
+    EXPECT_DOUBLE_EQ(trace.counterSamples().back().value, 7.0);
+}
+
+TEST(IntervalSamplerTest, StopCancelsPendingWakeup)
+{
+    Simulator sim;
+    TraceRecorder trace;
+    IntervalSampler sampler(sim, trace, fromUs(10.0));
+    sampler.addProbe("depth", [] { return 1.0; });
+    sim.at(fromUs(95.0), [] {}, "workload");
+    sampler.start();
+    sampler.stop();
+    sim.run();
+    // Only the immediate start() sample; the periodic chain is gone.
+    EXPECT_EQ(trace.numCounterSamples(), 1u);
+}
+
 TEST(TraceIntegrationTest, SocEmitsSpansForEveryNode)
 {
     SocConfig config;
@@ -145,6 +260,49 @@ TEST(TraceIntegrationTest, SpansNestWithinRun)
         EXPECT_LT(s.start, s.end);
         EXPECT_LE(s.end, end + fromMs(1.0));
     }
+}
+
+TEST(TraceIntegrationTest, SocEmitsCounterTracks)
+{
+    Soc soc;
+    TraceRecorder &trace = soc.enableTracing(fromUs(5.0));
+    ASSERT_NE(soc.sampler(), nullptr);
+    EXPECT_EQ(soc.sampler()->period(), fromUs(5.0));
+    DagPtr dag = buildApp(AppId::Canny);
+    soc.submit(dag);
+    Tick end = soc.run(fromMs(50.0));
+    ASSERT_TRUE(dag->complete());
+
+    // Ready-queue depth, DRAM bandwidth, outstanding DMA bytes, and
+    // per-accelerator occupancy (the paper's memory-pressure signals).
+    EXPECT_GE(trace.numCounterTracks(), 4);
+    auto has_track = [&trace](const std::string &name) {
+        for (int t = 0; t < trace.numCounterTracks(); ++t)
+            if (trace.counterTrackName(t) == name)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has_track("manager.ready_queue_depth"));
+    EXPECT_TRUE(has_track("dram.bandwidth_utilization"));
+    EXPECT_TRUE(has_track("dma.outstanding_bytes"));
+
+    EXPECT_GT(trace.numCounterSamples(), 0u);
+    for (const CounterSample &s : trace.counterSamples()) {
+        EXPECT_GE(s.value, 0.0);
+        EXPECT_LE(s.when, end + soc.sampler()->period());
+    }
+}
+
+TEST(TraceIntegrationTest, ZeroSamplePeriodDisablesCounters)
+{
+    Soc soc;
+    TraceRecorder &trace = soc.enableTracing(0);
+    EXPECT_EQ(soc.sampler(), nullptr);
+    DagPtr dag = buildApp(AppId::Gru);
+    soc.submit(dag);
+    soc.run(fromMs(50.0));
+    EXPECT_EQ(trace.numCounterSamples(), 0u);
+    EXPECT_GT(trace.numSpans(), 0u); // spans still work without sampling
 }
 
 } // namespace

@@ -8,8 +8,13 @@
  *
  * Usage: relief_compare [--mix SYMBOLS | --workload FILE]
  *                       [--continuous] [--limit-ms X] [platform flags]
+ *
+ * --stats-json FILE writes one JSON stats dump per policy, with the
+ * policy name spliced in before the extension (stats.json ->
+ * stats.RELIEF.json); --debug-flags applies to every run.
  */
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -87,6 +92,21 @@ main(int argc, char **argv)
             soc.submit(dag, 0, config.continuous);
         soc.run(config.timeLimit);
         MetricsReport r = soc.report();
+        if (!config.statsJsonPath.empty()) {
+            std::string path = config.statsJsonPath;
+            std::size_t dot = path.rfind('.');
+            std::string tag = std::string(".") + policyName(policy);
+            path = dot == std::string::npos
+                       ? path + tag
+                       : path.substr(0, dot) + tag + path.substr(dot);
+            std::ofstream out(path);
+            if (!out) {
+                std::cerr << "cannot write stats to " << path << "\n";
+                return 1;
+            }
+            soc.writeStatsJson(out);
+            std::cout << "JSON stats written to " << path << "\n";
+        }
         table.addRow(
             {policyName(policy), std::to_string(r.run.forwards),
              std::to_string(r.run.colocations),

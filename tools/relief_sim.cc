@@ -9,6 +9,12 @@
  *   relief_sim --mix GHL --policy LAX
  *   relief_sim --mix CDG --policy RELIEF --continuous --limit-ms 50
  *   relief_sim --mix CG --instances EM=2 --fabric xbar --trace out.json
+ *   relief_sim --mix CDL --stats-json stats.json --debug-flags Sched
+ *
+ * --trace FILE writes a Chrome trace (spans plus counter tracks; load
+ * in Perfetto), --stats FILE the gem5-style text dump, --stats-json
+ * FILE the stable-schema JSON stats, and --debug-flags LIST enables
+ * sim-time-stamped category logging (e.g. Sched,Dma,Mem).
  */
 
 #include <fstream>
@@ -154,6 +160,17 @@ main(int argc, char **argv)
         }
         soc.dumpStats(out);
         std::cout << "stats written to " << stats_path << "\n";
+    }
+    if (!config.statsJsonPath.empty()) {
+        std::ofstream out(config.statsJsonPath);
+        if (!out) {
+            std::cerr << "cannot write stats to " << config.statsJsonPath
+                      << "\n";
+            return 1;
+        }
+        soc.writeStatsJson(out);
+        std::cout << "JSON stats written to " << config.statsJsonPath
+                  << "\n";
     }
     return 0;
 }
