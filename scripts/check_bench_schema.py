@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate a relief-bench-v1 BENCH JSON document.
+
+Dependency-free (Python standard library only) so CI and developers can
+run it anywhere:
+
+    scripts/check_bench_schema.py BENCH_relief.json
+
+Exits 0 when the document is schema-valid, 1 with a diagnostic per
+violation otherwise. The schema is documented in docs/observability.md.
+"""
+
+import json
+import sys
+
+BUCKETS = ("queue_wait", "manager", "dma_in", "compute", "dma_out",
+           "dep_stall", "total")
+
+RUN_FIELDS = {
+    "mix": str,
+    "policy": str,
+    "host_wall_s": (int, float),
+    "sim_ticks": int,
+    "sim_events": int,
+    "events_per_sec": (int, float),
+    "dags_finished": int,
+    "node_deadline_fraction": (int, float),
+    "dag_deadline_fraction": (int, float),
+    "critical_path_us": dict,
+}
+
+FRACTION_FIELDS = ("node_deadline_fraction", "dag_deadline_fraction")
+
+
+def check(doc):
+    errors = []
+
+    def err(msg):
+        errors.append(msg)
+
+    if not isinstance(doc, dict):
+        return ["top level: expected an object"]
+    if doc.get("schema") != "relief-bench-v1":
+        err("schema: expected 'relief-bench-v1', got %r"
+            % doc.get("schema"))
+    if not isinstance(doc.get("limit_ms"), (int, float)) \
+            or doc.get("limit_ms") <= 0:
+        err("limit_ms: expected a positive number")
+    if not isinstance(doc.get("smoke"), bool):
+        err("smoke: expected a boolean")
+
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        err("runs: expected a non-empty array")
+        return errors
+
+    for i, run in enumerate(runs):
+        where = "runs[%d]" % i
+        if not isinstance(run, dict):
+            err("%s: expected an object" % where)
+            continue
+        for field, kind in RUN_FIELDS.items():
+            value = run.get(field)
+            # bool is an int subclass; reject it for numeric fields.
+            if value is None or isinstance(value, bool) \
+                    or not isinstance(value, kind):
+                err("%s.%s: expected %s, got %r"
+                    % (where, field, kind, value))
+        for field in FRACTION_FIELDS:
+            value = run.get(field)
+            if isinstance(value, (int, float)) \
+                    and not isinstance(value, bool) \
+                    and not 0.0 <= value <= 1.0:
+                err("%s.%s: %r outside [0, 1]" % (where, field, value))
+        for field in ("host_wall_s", "events_per_sec"):
+            value = run.get(field)
+            if isinstance(value, (int, float)) \
+                    and not isinstance(value, bool) and value < 0:
+                err("%s.%s: %r is negative" % (where, field, value))
+
+        cp = run.get("critical_path_us")
+        if isinstance(cp, dict):
+            for bucket in BUCKETS:
+                value = cp.get(bucket)
+                if not isinstance(value, (int, float)) \
+                        or isinstance(value, bool):
+                    err("%s.critical_path_us.%s: expected a number, "
+                        "got %r" % (where, bucket, value))
+                elif value < 0:
+                    err("%s.critical_path_us.%s: %r is negative"
+                        % (where, bucket, value))
+            extra = set(cp) - set(BUCKETS)
+            if extra:
+                err("%s.critical_path_us: unknown keys %s"
+                    % (where, sorted(extra)))
+    return errors
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: check_bench_schema.py BENCH_FILE", file=sys.stderr)
+        return 1
+    try:
+        with open(argv[1]) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print("error: cannot parse %s: %s" % (argv[1], exc),
+              file=sys.stderr)
+        return 1
+    errors = check(doc)
+    for error in errors:
+        print("schema violation: %s" % error, file=sys.stderr)
+    if errors:
+        return 1
+    print("%s: schema-valid relief-bench-v1 (%d runs)"
+          % (argv[1], len(doc["runs"])))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Run the relief_bench harness, validate the BENCH JSON it writes, and
+# record a Perfetto trace (spans + counters + dependency-edge flow
+# arrows) of a representative run alongside it.
+#
+# Usage: scripts/run_bench.sh [--smoke] [build-dir] [out-dir]
+#
+# --smoke runs the tiny CI matrix (one mix, two policies, 5 ms) so the
+# whole job stays under a minute; without it the full default matrix
+# runs. Outputs land in out-dir (default bench-results/):
+#   BENCH_relief.json   relief-bench-v1 document (schema-checked)
+#   trace_CDL.json      Chrome/Perfetto trace of a CDL run
+set -euo pipefail
+
+SMOKE=0
+if [ "${1:-}" = "--smoke" ]; then
+    SMOKE=1
+    shift
+fi
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench-results}"
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+
+for tool in relief_bench relief_sim; do
+    if [ ! -x "$BUILD_DIR/tools/$tool" ]; then
+        echo "error: $BUILD_DIR/tools/$tool not found; build first:" >&2
+        echo "  cmake -B $BUILD_DIR && cmake --build $BUILD_DIR -j" >&2
+        exit 1
+    fi
+done
+
+mkdir -p "$OUT_DIR"
+BENCH_JSON="$OUT_DIR/BENCH_relief.json"
+
+if [ "$SMOKE" = 1 ]; then
+    "$BUILD_DIR/tools/relief_bench" --smoke --out "$BENCH_JSON"
+else
+    "$BUILD_DIR/tools/relief_bench" --out "$BENCH_JSON"
+fi
+
+python3 "$SCRIPT_DIR/check_bench_schema.py" "$BENCH_JSON"
+
+# A representative trace for the artifact: CDL under RELIEF exercises
+# forwarding, so the flow arrows carry all three edge categories.
+"$BUILD_DIR/tools/relief_sim" --mix CDL --policy RELIEF \
+    --trace "$OUT_DIR/trace_CDL.json" > "$OUT_DIR/trace_CDL.log"
+
+echo "bench outputs in $OUT_DIR/ (BENCH_relief.json schema-valid)"

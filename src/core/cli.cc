@@ -42,7 +42,7 @@ cliUsage()
            "[--no-feasibility] [--no-forwarding] [--stream-forwarding] "
            "[--dma-burst N] [--submit-latency-us X] [--functional] "
            "[--seed N] [--debug-flags LIST] [--stats-json FILE] "
-           "[--config FILE]";
+           "[--latency-breakdown] [--config FILE]";
 }
 
 namespace
@@ -220,6 +220,8 @@ parseCliOptions(const std::vector<std::string> &raw_args)
         } else if (arg == "--stats-json") {
             config.statsJsonPath = need_value(i);
             ++i;
+        } else if (arg == "--latency-breakdown") {
+            config.latencyBreakdown = true;
         } else {
             fatal("unknown flag '", arg, "'\n", cliUsage());
         }

@@ -28,6 +28,7 @@
  *   --debug-flags LIST     enable debug categories, e.g. Sched,Dma
  *                          (Sched|Dma|Mem|Fabric|Stats; see sim/debug.hh)
  *   --stats-json FILE      write the stat registry as JSON after the run
+ *   --latency-breakdown    print the per-DAG critical-path table
  *   --config FILE          splice flags from a file
  */
 

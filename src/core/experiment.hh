@@ -26,6 +26,9 @@ struct ExperimentConfig
     AppConfig app;              ///< DAG-builder knobs.
     std::string debugFlags;    ///< --debug-flags list (already applied).
     std::string statsJsonPath; ///< --stats-json target ("" = off).
+    /** Print the per-DAG critical-path attribution table after the run
+     *  (--latency-breakdown; see Soc::printLatencyBreakdown). */
+    bool latencyBreakdown = false;
 };
 
 /** Run one simulation and return its metrics. */

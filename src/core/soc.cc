@@ -10,6 +10,7 @@
 #include "sched/relief.hh"
 #include "sim/logging.hh"
 #include "stats/json.hh"
+#include "stats/table.hh"
 
 namespace relief
 {
@@ -234,6 +235,38 @@ Soc::registerStats()
     stats_.addHistogram("manager.queue_depth",
                         "queue length at insert distribution",
                         &m.queueDepthHist);
+    stats_.addCounter("manager.queue_peak_depth",
+                      "largest ready-queue length reached", [this] {
+                          std::size_t peak = 0;
+                          for (const ReadyQueue &q :
+                               manager_->readyQueues())
+                              peak = std::max(peak, q.peakSize());
+                          return std::uint64_t(peak);
+                      });
+
+    // Critical-path attribution (manager/critical_path.hh): one sample
+    // per finished DAG execution, per bucket. Bucket means sum to the
+    // mean end-to-end DAG latency.
+    stats_.addHistogram("manager.cp_queue_wait_us",
+                        "critical-path queue wait per DAG (us)",
+                        &m.cpQueueWaitUs);
+    stats_.addHistogram("manager.cp_manager_us",
+                        "critical-path manager overhead per DAG (us)",
+                        &m.cpManagerUs);
+    stats_.addHistogram("manager.cp_dma_in_us",
+                        "critical-path input-DMA time per DAG (us)",
+                        &m.cpDmaInUs);
+    stats_.addHistogram("manager.cp_compute_us",
+                        "critical-path compute time per DAG (us)",
+                        &m.cpComputeUs);
+    stats_.addHistogram("manager.cp_dma_out_us",
+                        "critical-path write-back time per DAG (us)",
+                        &m.cpDmaOutUs);
+    stats_.addHistogram("manager.cp_dep_stall_us",
+                        "critical-path dependency stall per DAG (us)",
+                        &m.cpDepStallUs);
+    stats_.addHistogram("manager.cp_total_us",
+                        "end-to-end DAG latency (us)", &m.cpTotalUs);
 }
 
 Soc::~Soc() = default;
@@ -306,6 +339,43 @@ Soc::dumpStats(std::ostream &os) const
         }
     }
     os << "---------- End Simulation Statistics ----------\n";
+}
+
+void
+Soc::printLatencyBreakdown(std::ostream &os) const
+{
+    Table table("Per-DAG critical-path latency attribution");
+    std::vector<std::string> header = {"dag", "nodes", "latency_ms"};
+    for (int b = 0; b < numLatencyBuckets; ++b)
+        header.push_back(std::string(latencyBucketName(b)) + "_us");
+    table.setHeader(header);
+
+    LatencyBreakdown mean;
+    const auto &records = manager_->latencyRecords();
+    for (const DagLatencyRecord &rec : records) {
+        std::vector<std::string> row = {
+            rec.dag, std::to_string(rec.pathLength),
+            Table::num(toMs(rec.latency()), 3)};
+        for (int b = 0; b < numLatencyBuckets; ++b)
+            row.push_back(Table::num(toUs(latencyBucket(rec.buckets, b)), 1));
+        table.addRow(row);
+
+        mean.queueWait += rec.buckets.queueWait;
+        mean.managerOverhead += rec.buckets.managerOverhead;
+        mean.dmaIn += rec.buckets.dmaIn;
+        mean.compute += rec.buckets.compute;
+        mean.dmaOut += rec.buckets.dmaOut;
+        mean.depStall += rec.buckets.depStall;
+    }
+    if (!records.empty()) {
+        Tick n = Tick(records.size());
+        std::vector<std::string> row = {
+            "mean", "-", Table::num(toMs(mean.total() / n), 3)};
+        for (int b = 0; b < numLatencyBuckets; ++b)
+            row.push_back(Table::num(toUs(latencyBucket(mean, b) / n), 1));
+        table.addRow(row);
+    }
+    table.emit(os);
 }
 
 void

@@ -176,6 +176,14 @@ class Soc
     void dumpStats(std::ostream &os) const;
 
     /**
+     * Per-DAG critical-path latency attribution table (CLI:
+     * `--latency-breakdown`): one row per finished DAG execution, the
+     * six buckets in microseconds plus their total — which equals the
+     * measured end-to-end latency (manager/critical_path.hh).
+     */
+    void printLatencyBreakdown(std::ostream &os) const;
+
+    /**
      * Stable-schema JSON stats document ("relief-stats-v1"): the
      * registry's stats object plus an "apps" array of per-application
      * outcomes. Written by `relief_sim --stats-json FILE`.

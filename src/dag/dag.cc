@@ -30,6 +30,7 @@ Node::resetRuntimeState()
     launchedAt = 0;
     finishedAt = 0;
     actualMemTime = 0;
+    lifecycle = NodeLifecycle{};
     outputData.clear();
 }
 

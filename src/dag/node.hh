@@ -52,6 +52,31 @@ struct ProducerRef
 };
 
 /**
+ * Tick-stamped phase transitions of one node execution, recorded by
+ * the hardware manager:
+ *
+ *   submitted -> depsReady -> queued -> dispatched -> loadStart
+ *             -> loadEnd (compute begins) -> computeEnd -> complete,
+ *
+ * plus the asynchronous write-back window [wbStart, wbEnd) when the
+ * output went to DRAM. The CriticalPath analyzer consumes these
+ * timelines to attribute end-to-end DAG latency to buckets
+ * (src/manager/critical_path.hh).
+ */
+struct NodeLifecycle
+{
+    Tick submitted = 0;  ///< Owning DAG's submission was processed.
+    Tick depsReady = 0;  ///< Last parent finished (roots: submitted).
+    Tick queued = 0;     ///< Entered its ready queue (ISR+push done).
+    Tick dispatched = 0; ///< Launch began on an accelerator.
+    Tick loadStart = 0;  ///< Output partition allocated, inputs issued.
+    Tick loadEnd = 0;    ///< All operands resident; compute begins.
+    Tick computeEnd = 0; ///< Functional unit done; completion raised.
+    Tick wbStart = 0;    ///< Write-back issued (0 when elided).
+    Tick wbEnd = 0;      ///< Write-back delivered (0 when elided).
+};
+
+/**
  * Optional functional payload: computes the node's output buffer from
  * its parents' output buffers (in parent order). External operands are
  * captured inside the closure by the DAG builders.
@@ -97,6 +122,7 @@ struct Node
     Tick launchedAt = 0;
     Tick finishedAt = 0;
     Tick actualMemTime = 0; ///< Measured input-load + write-back time.
+    NodeLifecycle lifecycle; ///< Full phase-transition timeline.
 
     /** Functional result (filled when fn is set and the node runs). */
     std::vector<float> outputData;

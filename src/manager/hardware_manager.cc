@@ -101,8 +101,11 @@ HardwareManager::beginDag(Dag *dag)
     for (Node *node : dag->allNodes()) {
         node->deadline = now() + dag->nodeRelativeDeadline(*node, scheme);
         node->scoreDeadline = now() + node->relDeadlineCp;
-        if (node->isRoot())
+        node->lifecycle.submitted = now();
+        if (node->isRoot()) {
+            node->lifecycle.depsReady = now();
             ready.push_back(node);
+        }
     }
     scheduleReadyNodes(std::move(ready));
 }
@@ -152,6 +155,7 @@ HardwareManager::scheduleReadyNodes(std::vector<Node *> ready)
                  for (Node *node : ready) {
                      node->status = NodeStatus::Ready;
                      node->readyAt = now();
+                     node->lifecycle.queued = now();
                      node->predictedRuntime = predictor_->predict(*node);
                      node->laxityKey =
                          STick(node->deadline) -
@@ -190,6 +194,7 @@ HardwareManager::beginLaunch(AccState &state, Node *node)
     state.current = node;
     node->status = NodeStatus::Running;
     node->launchedAt = now();
+    node->lifecycle.dispatched = now();
     metrics_.queueWait.sample(double(now() - node->readyAt));
     metrics_.queueWaitUs.sample(toUs(now() - node->readyAt));
     DPRINTF(Sched, "launch ", node->label, " on ", state.acc->name(),
@@ -284,6 +289,7 @@ HardwareManager::issueInputs(AccState &state)
 {
     Node *node = state.current;
     state.inputStart = now();
+    node->lifecycle.loadStart = now();
     state.pendingInputs = 0;
 
     const std::uint64_t operand = node->inputOperandSize();
@@ -308,6 +314,7 @@ HardwareManager::issueInputs(AccState &state)
             node->inputSources[i] = InputSource::Colocated;
             ++metrics_.colocations;
             metrics_.colocatedBytes += operand;
+            traceEdgeFlow(state, node, i, InputSource::Colocated);
             continue;
         }
         bool live = config_.forwardingEnabled && ref.acc != nullptr &&
@@ -317,6 +324,7 @@ HardwareManager::issueInputs(AccState &state)
             // Forward: pull straight from the producer's scratchpad.
             node->inputSources[i] = InputSource::Forwarded;
             ++metrics_.forwards;
+            traceEdgeFlow(state, node, i, InputSource::Forwarded);
             Scratchpad &producer_spm = ref.acc->spm();
             producer_spm.beginRead(ref.partition);
             ++state.pendingInputs;
@@ -343,6 +351,7 @@ HardwareManager::issueInputs(AccState &state)
         // The producer's data is gone (or was written back): DRAM read.
         node->inputSources[i] = InputSource::Dram;
         ++metrics_.dramEdges;
+        traceEdgeFlow(state, node, i, InputSource::Dram);
         ++state.pendingInputs;
         Tick end = state.acc->dma().readFromDram(operand, on_input_done,
                                                  parent->id);
@@ -368,10 +377,45 @@ HardwareManager::issueInputs(AccState &state)
 }
 
 void
+HardwareManager::traceEdgeFlow(const AccState &state, const Node *node,
+                               std::size_t input_index,
+                               InputSource source)
+{
+    if (!trace_)
+        return;
+    const Node *parent = node->parents[input_index];
+    const ProducerRef &ref = node->producerRefs[input_index];
+    if (ref.acc == nullptr)
+        return; // Producer identity lost (resubmission residue).
+
+    const char *category = source == InputSource::Forwarded
+                               ? "forward"
+                               : source == InputSource::Colocated
+                                     ? "colocation"
+                                     : "dram";
+    // Arrow tail: the producer's completion — or, for an operand that
+    // bounced through main memory, the write-back span on the
+    // producer's ".wb" lane, which makes the DRAM round trip visually
+    // explicit next to the direct forward/colocation arrows.
+    int src_lane = trace_->lane(ref.acc->name());
+    Tick src_time = parent->lifecycle.computeEnd;
+    if (source == InputSource::Dram &&
+        parent->lifecycle.wbStart != 0 &&
+        parent->lifecycle.wbStart <= now()) {
+        src_lane = trace_->lane(ref.acc->name() + ".wb");
+        src_time = parent->lifecycle.wbStart;
+    }
+    trace_->flow(parent->label + " -> " + node->label, category,
+                 src_lane, src_time, trace_->lane(state.acc->name()),
+                 now());
+}
+
+void
 HardwareManager::startCompute(AccState &state)
 {
     Node *node = state.current;
     node->actualMemTime += now() - state.inputStart;
+    node->lifecycle.loadEnd = now();
     Tick duration = actualComputeTime(*node);
     if (trace_) {
         int lane_id = trace_->lane(state.acc->name());
@@ -389,6 +433,7 @@ HardwareManager::onComputeDone(AccState &state)
 {
     Node *node = state.current;
     int partition = state.outputPartition;
+    node->lifecycle.computeEnd = now();
     state.acc->spm().produceOutput(partition);
 
     if (node->fn) {
@@ -430,6 +475,22 @@ HardwareManager::handleNodeCompletion(AccState &state, Node *node,
         ++metrics_.dagsFinished;
         if (now() <= dag->absoluteDeadline())
             ++metrics_.dagDeadlinesMet;
+        // Attribute the finished execution before the completion
+        // handler can resubmit the DAG (which resets the lifecycles).
+        DagLatencyRecord attributed = CriticalPath::analyze(*dag);
+        metrics_.sampleCriticalPath(attributed.buckets);
+        DPRINTF(Sched, "dag ", dag->name(), " complete: latency ",
+                attributed.latency(), " = queue ",
+                attributed.buckets.queueWait, " + mgr ",
+                attributed.buckets.managerOverhead, " + dma-in ",
+                attributed.buckets.dmaIn, " + compute ",
+                attributed.buckets.compute, " + dma-out ",
+                attributed.buckets.dmaOut, " + stall ",
+                attributed.buckets.depStall);
+        // The resubmission path reuses the same Node objects, so keep
+        // only labels/ticks alive past this point, not node pointers.
+        attributed.path.clear();
+        latencyRecords_.push_back(std::move(attributed));
         if (onDagComplete_)
             onDagComplete_(dag);
     }
@@ -446,6 +507,7 @@ HardwareManager::handleNodeCompletion(AccState &state, Node *node,
         }
         if (++child->completedParents ==
             std::uint32_t(child->parents.size())) {
+            child->lifecycle.depsReady = now();
             ready.push_back(child);
         }
     }
@@ -477,6 +539,7 @@ HardwareManager::handleNodeCompletion(AccState &state, Node *node,
                  for (Node *r : ready) {
                      r->status = NodeStatus::Ready;
                      r->readyAt = now();
+                     r->lifecycle.queued = now();
                      r->predictedRuntime = predictor_->predict(*r);
                      r->laxityKey = STick(r->deadline) -
                                     STick(r->predictedRuntime);
@@ -544,6 +607,8 @@ HardwareManager::handleWriteBack(AccState &state, Node *node,
     Tick issue = now();
     Tick end = state.acc->dma().writeToDram(bytes, nullptr, node->id);
     node->actualMemTime += end - issue;
+    node->lifecycle.wbStart = issue;
+    node->lifecycle.wbEnd = end;
     if (trace_) {
         trace_->span(trace_->lane(state.acc->name() + ".wb"),
                      "wb " + node->label, issue, end, "dma");

@@ -98,10 +98,18 @@ class HardwareManager : public SimObject
     RuntimePredictor &predictor() { return *predictor_; }
 
     /** Attach a trace recorder; the manager emits load / compute /
-     *  write-back / scheduler spans (nullptr disables). */
+     *  write-back / scheduler spans plus one flow event (arrow) per
+     *  satisfied DAG edge (nullptr disables). */
     void setTrace(TraceRecorder *trace) { trace_ = trace; }
     const RunMetrics &metrics() const { return metrics_; }
     const ReadyQueues &readyQueues() const { return queues_; }
+
+    /** Critical-path attribution of every finished DAG execution, in
+     *  completion order (see manager/critical_path.hh). */
+    const std::vector<DagLatencyRecord> &latencyRecords() const
+    {
+        return latencyRecords_;
+    }
 
     /** Idle instance count of @p type (RELIEF's max_forwards input). */
     int idleCount(AccType type) const;
@@ -154,6 +162,10 @@ class HardwareManager : public SimObject
     /** Issue input transfers and chain into compute. */
     void issueInputs(AccState &state);
 
+    /** Emit the Perfetto flow arrow for one satisfied edge. */
+    void traceEdgeFlow(const AccState &state, const Node *node,
+                       std::size_t input_index, InputSource source);
+
     /** All inputs have landed: run the functional unit. */
     void startCompute(AccState &state);
 
@@ -187,6 +199,7 @@ class HardwareManager : public SimObject
     ManagerConfig config_;
     ReadyQueues queues_;
     RunMetrics metrics_;
+    std::vector<DagLatencyRecord> latencyRecords_;
     Tick managerFreeAt_ = 0;
     std::function<void(Dag *)> onDagComplete_;
     TraceRecorder *trace_ = nullptr;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "manager/critical_path.hh"
 #include "sim/ticks.hh"
 #include "stats/stats.hh"
 
@@ -47,6 +48,31 @@ struct RunMetrics
     Histogram queueWaitUs{0.0, 100.0, 20};
     /** Distribution of ready-queue lengths at insert. */
     Histogram queueDepthHist{0.0, 16.0, 16};
+
+    // --- Critical-path latency attribution (one sample per finished
+    // DAG, microseconds; see manager/critical_path.hh). The six
+    // buckets of one DAG sum to its end-to-end latency. ---
+    Histogram cpQueueWaitUs{0.0, 20000.0, 20};
+    Histogram cpManagerUs{0.0, 1000.0, 20};
+    Histogram cpDmaInUs{0.0, 20000.0, 20};
+    Histogram cpComputeUs{0.0, 20000.0, 20};
+    Histogram cpDmaOutUs{0.0, 20000.0, 20};
+    Histogram cpDepStallUs{0.0, 20000.0, 20};
+    /** End-to-end DAG latency (sum of the six buckets, us). */
+    Histogram cpTotalUs{0.0, 50000.0, 25};
+
+    /** Record one finished DAG's attribution into the histograms. */
+    void
+    sampleCriticalPath(const LatencyBreakdown &b)
+    {
+        cpQueueWaitUs.sample(toUs(b.queueWait));
+        cpManagerUs.sample(toUs(b.managerOverhead));
+        cpDmaInUs.sample(toUs(b.dmaIn));
+        cpComputeUs.sample(toUs(b.compute));
+        cpDmaOutUs.sample(toUs(b.dmaOut));
+        cpDepStallUs.sample(toUs(b.depStall));
+        cpTotalUs.sample(toUs(b.total()));
+    }
 
     double
     nodeDeadlineFraction() const

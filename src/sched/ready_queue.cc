@@ -1,5 +1,7 @@
 #include "sched/ready_queue.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace relief
@@ -12,6 +14,7 @@ ReadyQueue::insertAt(std::size_t index, Node *node)
     RELIEF_ASSERT(index <= nodes_.size(), "ready-queue insert out of "
                   "range: ", index, " > ", nodes_.size());
     nodes_.insert(nodes_.begin() + long(index), node);
+    peakSize_ = std::max(peakSize_, nodes_.size());
 }
 
 Node *

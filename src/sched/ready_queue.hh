@@ -29,6 +29,10 @@ class ReadyQueue
     bool empty() const { return nodes_.empty(); }
     std::size_t size() const { return nodes_.size(); }
 
+    /** Largest length this queue ever reached (high-water mark); a
+     *  backlog signal the sampled mean depth can hide. */
+    std::size_t peakSize() const { return peakSize_; }
+
     Node *at(std::size_t index) const { return nodes_[index]; }
     const std::vector<Node *> &nodes() const { return nodes_; }
 
@@ -52,6 +56,7 @@ class ReadyQueue
 
   private:
     std::vector<Node *> nodes_;
+    std::size_t peakSize_ = 0;
 };
 
 /** One ready queue per accelerator type. */

@@ -82,6 +82,31 @@ Histogram::bucketCount(std::size_t index) const
     return buckets_[index];
 }
 
+double
+Histogram::quantile(double q) const
+{
+    if (summary_.count() == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    double target = q * double(summary_.count());
+    double seen = double(underflow_);
+    if (target <= seen)
+        return summary_.min();
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        double in_bucket = double(buckets_[i]);
+        if (in_bucket > 0.0 && target <= seen + in_bucket) {
+            double frac = (target - seen) / in_bucket;
+            double v = bucketLo(i) + frac * bucketWidth_;
+            return std::min(std::max(v, summary_.min()),
+                            summary_.max());
+        }
+        seen += in_bucket;
+    }
+    // Target falls in the overflow bin: the best available bound is
+    // the largest observed sample.
+    return summary_.max();
+}
+
 void
 Histogram::reset()
 {

@@ -74,6 +74,15 @@ class Histogram
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
 
+    /**
+     * Estimated value at quantile @p q in [0, 1], linearly
+     * interpolated within the containing bucket. Underflow samples
+     * count at the low edge, overflow at the high edge (the estimate
+     * clamps to the observed min/max so a heavy tail cannot report a
+     * value never seen). Returns 0 with no samples.
+     */
+    double quantile(double q) const;
+
     /** Total samples, including under/overflow. */
     std::uint64_t count() const { return summary_.count(); }
     double mean() const { return summary_.mean(); }

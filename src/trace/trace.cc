@@ -9,6 +9,16 @@
 namespace relief
 {
 
+TraceRecorder::TraceRecorder()
+{
+    // Spans, samples, and flows are recorded on the per-event hot path
+    // (every launch, every sampler wakeup, every satisfied DAG edge);
+    // seed the vectors so early growth never reallocates mid-run.
+    spans_.reserve(1024);
+    samples_.reserve(4096);
+    flows_.reserve(1024);
+}
+
 int
 TraceRecorder::lane(const std::string &name)
 {
@@ -78,18 +88,74 @@ TraceRecorder::counterTrackName(int track_id) const
     return trackNames_[std::size_t(track_id)];
 }
 
+int
+TraceRecorder::flow(std::string name, std::string category, int src_lane,
+                    Tick src_time, int dst_lane, Tick dst_time)
+{
+    RELIEF_ASSERT(src_lane >= 0 && src_lane < numLanes(),
+                  "trace flow from unknown lane ", src_lane);
+    RELIEF_ASSERT(dst_lane >= 0 && dst_lane < numLanes(),
+                  "trace flow to unknown lane ", dst_lane);
+    TraceFlow f;
+    f.id = nextFlowId_++;
+    f.name = std::move(name);
+    f.category = std::move(category);
+    f.srcLane = src_lane;
+    f.srcTime = src_time;
+    f.dstLane = dst_lane;
+    f.dstTime = std::max(dst_time, src_time);
+    flows_.push_back(std::move(f));
+    return flows_.back().id;
+}
+
 Tick
 TraceRecorder::horizon() const
 {
     Tick h = 0;
     for (const TraceSpan &s : spans_)
         h = std::max(h, s.end);
+    // A counter-only trace (spans disabled or none recorded yet) must
+    // still report how far in time it reaches, or Gantt rendering and
+    // window clipping see an empty recording.
+    for (const CounterSample &s : samples_)
+        h = std::max(h, s.when);
+    for (const TraceFlow &f : flows_)
+        h = std::max(h, f.dstTime);
     return h;
 }
 
 void
 TraceRecorder::writeChromeJson(std::ostream &os) const
 {
+    // One entry per emitted event, sortable by timestamp. Flows
+    // contribute two entries ("s" at the source, "f" at the
+    // destination); `half` orders a zero-length flow's start before
+    // its finish, which chrome://tracing requires to bind the arrow.
+    struct Ref
+    {
+        Tick ts;
+        int kind; ///< 0 span, 1 counter, 2 flow.
+        int half; ///< Flows: 0 = "s", 1 = "f".
+        std::size_t index;
+    };
+    std::vector<Ref> refs;
+    refs.reserve(spans_.size() + samples_.size() + 2 * flows_.size());
+    for (std::size_t i = 0; i < spans_.size(); ++i)
+        refs.push_back({spans_[i].start, 0, 0, i});
+    for (std::size_t i = 0; i < samples_.size(); ++i)
+        refs.push_back({samples_[i].when, 1, 0, i});
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+        refs.push_back({flows_[i].srcTime, 2, 0, i});
+        refs.push_back({flows_[i].dstTime, 2, 1, i});
+    }
+    // Stability keeps a zero-length flow's "s" (inserted first) ahead
+    // of its "f" at equal timestamps, which chrome://tracing requires
+    // to bind the arrow.
+    std::stable_sort(refs.begin(), refs.end(),
+                     [](const Ref &a, const Ref &b) {
+                         return a.ts < b.ts;
+                     });
+
     os << "[\n";
     bool first = true;
     for (int lane_id = 0; lane_id < numLanes(); ++lane_id) {
@@ -100,26 +166,51 @@ TraceRecorder::writeChromeJson(std::ostream &os) const
            << "\"tid\":" << lane_id << ",\"args\":{\"name\":\""
            << jsonEscape(laneNames_[std::size_t(lane_id)]) << "\"}}";
     }
-    for (const TraceSpan &s : spans_) {
+    for (const Ref &ref : refs) {
         if (!first)
             os << ",\n";
         first = false;
-        os << "  {\"name\":\"" << jsonEscape(s.name) << "\",\"cat\":\""
-           << jsonEscape(s.category) << "\",\"ph\":\"X\",\"ts\":"
-           << toUs(s.start) << ",\"dur\":" << toUs(s.end - s.start)
-           << ",\"pid\":1,\"tid\":" << s.lane << "}";
-    }
-    // Counter tracks: Perfetto groups "C" events by name and renders
-    // each as a line chart keyed on args.value.
-    for (const CounterSample &s : samples_) {
-        if (!first)
-            os << ",\n";
-        first = false;
-        os << "  {\"name\":\""
-           << jsonEscape(trackNames_[std::size_t(s.track)])
-           << "\",\"ph\":\"C\",\"ts\":" << toUs(s.when)
-           << ",\"pid\":1,\"args\":{\"value\":" << jsonNumber(s.value)
-           << "}}";
+        switch (ref.kind) {
+          case 0: {
+            const TraceSpan &s = spans_[ref.index];
+            os << "  {\"name\":\"" << jsonEscape(s.name)
+               << "\",\"cat\":\"" << jsonEscape(s.category)
+               << "\",\"ph\":\"X\",\"ts\":" << toUs(s.start)
+               << ",\"dur\":" << toUs(s.end - s.start)
+               << ",\"pid\":1,\"tid\":" << s.lane << "}";
+            break;
+          }
+          case 1: {
+            // Perfetto groups "C" events by name and renders each as a
+            // line chart keyed on args.value.
+            const CounterSample &s = samples_[ref.index];
+            os << "  {\"name\":\""
+               << jsonEscape(trackNames_[std::size_t(s.track)])
+               << "\",\"ph\":\"C\",\"ts\":" << toUs(s.when)
+               << ",\"pid\":1,\"args\":{\"value\":"
+               << jsonNumber(s.value) << "}}";
+            break;
+          }
+          case 2: {
+            const TraceFlow &f = flows_[ref.index];
+            if (ref.half == 0) {
+                os << "  {\"name\":\"" << jsonEscape(f.name)
+                   << "\",\"cat\":\"" << jsonEscape(f.category)
+                   << "\",\"ph\":\"s\",\"id\":" << f.id
+                   << ",\"ts\":" << toUs(f.srcTime)
+                   << ",\"pid\":1,\"tid\":" << f.srcLane << "}";
+            } else {
+                // bp:"e" binds the arrowhead to the enclosing slice
+                // rather than the next slice on the destination lane.
+                os << "  {\"name\":\"" << jsonEscape(f.name)
+                   << "\",\"cat\":\"" << jsonEscape(f.category)
+                   << "\",\"ph\":\"f\",\"bp\":\"e\",\"id\":" << f.id
+                   << ",\"ts\":" << toUs(f.dstTime)
+                   << ",\"pid\":1,\"tid\":" << f.dstLane << "}";
+            }
+            break;
+          }
+        }
     }
     os << "\n]\n";
 }
@@ -169,6 +260,7 @@ TraceRecorder::clear()
 {
     spans_.clear();
     samples_.clear();
+    flows_.clear();
 }
 
 } // namespace relief

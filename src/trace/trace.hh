@@ -15,14 +15,22 @@
  * occupancy). They are rendered as Chrome "C" events, which Perfetto
  * draws as per-name line charts under the span lanes — one load shows
  * both the schedule and the memory pressure it causes.
+ *
+ * The third primitive is the *flow event*: a directed arrow from a
+ * point on one lane to a point on another, rendered by Perfetto as a
+ * curve connecting the two enclosing slices. The hardware manager
+ * emits one flow per satisfied DAG edge — producer completion (or
+ * write-back) to consumer input load — categorized by how the operand
+ * moved ("forward", "colocation", "dram"), so a trace visually shows
+ * which data movement the scheduler elided.
  */
 
 #ifndef RELIEF_TRACE_TRACE_HH
 #define RELIEF_TRACE_TRACE_HH
 
-#include <map>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/ticks.hh"
@@ -48,9 +56,23 @@ struct CounterSample
     double value = 0.0;
 };
 
+/** One directed arrow between two lane/time points (a DAG edge). */
+struct TraceFlow
+{
+    int id = 0; ///< Pairs the "s" and "f" halves in the JSON.
+    std::string name;
+    std::string category;
+    int srcLane = 0;
+    Tick srcTime = 0;
+    int dstLane = 0;
+    Tick dstTime = 0;
+};
+
 class TraceRecorder
 {
   public:
+    TraceRecorder();
+
     /** Get or create the lane named @p name; returns its id. Lane ids
      *  are dense and ordered by first use. */
     int lane(const std::string &name);
@@ -80,11 +102,29 @@ class TraceRecorder
         return samples_;
     }
 
-    /** Latest end time across all spans. */
+    /**
+     * Record an arrow from (@p src_lane, @p src_time) to
+     * (@p dst_lane, @p dst_time); returns the flow id that pairs the
+     * two halves in the Chrome JSON. Arrows pointing backwards in time
+     * are clamped to zero length at the destination.
+     */
+    int flow(std::string name, std::string category, int src_lane,
+             Tick src_time, int dst_lane, Tick dst_time);
+
+    std::size_t numFlows() const { return flows_.size(); }
+    const std::vector<TraceFlow> &flows() const { return flows_; }
+
+    /** Latest time across all spans, counter samples, and flows. */
     Tick horizon() const;
 
-    /** Chrome trace-event JSON: complete events, lane metadata, and
-     *  one "C" event per counter sample. */
+    /**
+     * Chrome trace-event JSON: lane metadata first, then every event —
+     * complete ("X") spans, counter ("C") samples, and flow ("s"/"f")
+     * pairs — sorted by timestamp. Perfetto tolerates unsorted input,
+     * but chrome://tracing misrenders flows whose "s" half appears
+     * after its "f" half, so the sort (stable, "s" before "f" at equal
+     * timestamps) is a documented guarantee of this writer.
+     */
     void writeChromeJson(std::ostream &os) const;
 
     /**
@@ -99,11 +139,13 @@ class TraceRecorder
 
   private:
     std::vector<std::string> laneNames_;
-    std::map<std::string, int> laneIds_;
+    std::unordered_map<std::string, int> laneIds_;
     std::vector<TraceSpan> spans_;
     std::vector<std::string> trackNames_;
-    std::map<std::string, int> trackIds_;
+    std::unordered_map<std::string, int> trackIds_;
     std::vector<CounterSample> samples_;
+    std::vector<TraceFlow> flows_;
+    int nextFlowId_ = 1;
 };
 
 } // namespace relief

@@ -175,6 +175,13 @@ TEST(CliTest, ParsesStatsJsonPath)
     EXPECT_THROW(parseCliOptions({"--stats-json"}), FatalError);
 }
 
+TEST(CliTest, ParsesLatencyBreakdown)
+{
+    EXPECT_FALSE(parseCliOptions({}).latencyBreakdown);
+    EXPECT_TRUE(
+        parseCliOptions({"--latency-breakdown"}).latencyBreakdown);
+}
+
 TEST(CliTest, DebugFlagsAreAppliedImmediately)
 {
     clearDebugFlags();

@@ -47,6 +47,21 @@ TEST_F(ReadyQueueTest, PushPopFifo)
     EXPECT_TRUE(q.empty());
 }
 
+TEST_F(ReadyQueueTest, PeakSizeTracksHighWaterMark)
+{
+    EXPECT_EQ(q.peakSize(), 0u);
+    q.pushBack(makeNode(1));
+    q.pushBack(makeNode(2));
+    q.pushBack(makeNode(3));
+    EXPECT_EQ(q.peakSize(), 3u);
+    q.popFront();
+    q.popFront();
+    // Draining never lowers the high-water mark.
+    EXPECT_EQ(q.peakSize(), 3u);
+    q.pushBack(makeNode(4));
+    EXPECT_EQ(q.peakSize(), 3u);
+}
+
 TEST_F(ReadyQueueTest, PushFrontJumpsQueue)
 {
     Node *a = makeNode(1);

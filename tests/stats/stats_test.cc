@@ -72,6 +72,52 @@ TEST(AccumTest, ResetClearsState)
     EXPECT_DOUBLE_EQ(a.mean(), 0.0);
 }
 
+TEST(HistogramQuantileTest, EmptyIsZero)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramQuantileTest, InterpolatesWithinBucket)
+{
+    // 100 samples spread one per 0.1 across [0, 10): the quantile
+    // curve is close to the identity q -> 10q.
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.sample(double(i) / 10.0);
+    EXPECT_NEAR(h.quantile(0.5), 5.0, 0.2);
+    EXPECT_NEAR(h.quantile(0.9), 9.0, 0.2);
+    EXPECT_NEAR(h.quantile(0.25), 2.5, 0.2);
+}
+
+TEST(HistogramQuantileTest, ClampsToObservedRange)
+{
+    // One sample per edge bucket: no estimate may leave [min, max].
+    Histogram h(0.0, 10.0, 10);
+    h.sample(2.5);
+    h.sample(7.5);
+    EXPECT_GE(h.quantile(0.0), 2.5);
+    EXPECT_LE(h.quantile(1.0), 7.5);
+}
+
+TEST(HistogramQuantileTest, UnderflowAndOverflowUseObservedExtremes)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(-5.0); // underflow bin
+    h.sample(5.0);
+    h.sample(25.0); // overflow bin
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), -5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 25.0);
+}
+
+TEST(HistogramQuantileTest, OutOfRangeQIsClamped)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
 TEST(GeomeanTest, MatchesHandComputedValue)
 {
     EXPECT_NEAR(geomean({1.0, 4.0, 16.0}), 4.0, 1e-9);

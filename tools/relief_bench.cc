@@ -1,0 +1,242 @@
+/**
+ * @file
+ * relief_bench — the performance benchmark harness.
+ *
+ * Runs a matrix of application mixes under a set of scheduling
+ * policies, times each simulation on the host clock, and writes one
+ * machine-readable JSON document ("relief-bench-v1") summarizing
+ * simulator throughput (events per host second), workload outcomes
+ * (deadline fractions), and the mean critical-path latency
+ * attribution per bucket (see manager/critical_path.hh). CI's bench
+ * smoke job and scripts/run_bench.sh consume the file; the schema is
+ * validated by scripts/check_bench_schema.py and documented in
+ * docs/observability.md.
+ *
+ * Examples:
+ *
+ *   relief_bench                          # full matrix -> BENCH_relief.json
+ *   relief_bench --smoke --out b.json     # one mix, two policies, 5 ms
+ *   relief_bench --mixes CDL,GHL --policies RELIEF,FCFS --limit-ms 20
+ *
+ * Flags:
+ *   --out FILE      output path (default BENCH_relief.json)
+ *   --mixes LIST    comma-separated mixes (default CDL,GHL,CG)
+ *   --policies LIST comma-separated policy names (default all)
+ *   --limit-ms X    per-run simulation cap (default 50, the paper's)
+ *   --continuous    loop applications until the cap
+ *   --smoke         tiny matrix for CI: mix CDL, FCFS+RELIEF, 5 ms
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cli.hh"
+#include "core/relief.hh"
+#include "stats/json.hh"
+
+using namespace relief;
+
+namespace
+{
+
+struct BenchRun
+{
+    std::string mix;
+    PolicyKind policy = PolicyKind::Relief;
+    double hostWallS = 0.0;
+    std::uint64_t simTicks = 0;
+    std::uint64_t simEvents = 0;
+    double nodeDeadlineFraction = 0.0;
+    double dagDeadlineFraction = 0.0;
+    std::uint64_t dagsFinished = 0;
+    /** Mean per-DAG critical-path bucket values (us), plus total. */
+    double cpMeanUs[numLatencyBuckets] = {};
+    double cpTotalMeanUs = 0.0;
+
+    double eventsPerSec() const
+    {
+        return hostWallS > 0.0 ? double(simEvents) / hostWallS : 0.0;
+    }
+};
+
+std::vector<std::string>
+splitCsv(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::stringstream in(list);
+    std::string item;
+    while (std::getline(in, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+BenchRun
+runOne(const std::string &mix, PolicyKind policy, Tick limit,
+       bool continuous)
+{
+    BenchRun run;
+    run.mix = mix;
+    run.policy = policy;
+
+    ExperimentConfig config;
+    config.mix = mix;
+    config.soc.policy = policy;
+    config.continuous = continuous;
+    config.timeLimit = limit;
+
+    Soc soc(config.soc);
+    for (AppId app : parseMix(mix))
+        soc.submit(buildApp(app, config.app), 0, continuous);
+
+    auto start = std::chrono::steady_clock::now();
+    soc.run(config.timeLimit);
+    auto stop = std::chrono::steady_clock::now();
+    run.hostWallS =
+        std::chrono::duration<double>(stop - start).count();
+
+    run.simTicks = soc.sim().events().curTick();
+    run.simEvents = soc.sim().events().numExecuted();
+
+    const RunMetrics &m = soc.manager().metrics();
+    run.nodeDeadlineFraction = m.nodeDeadlineFraction();
+    run.dagDeadlineFraction = m.dagDeadlineFraction();
+    run.dagsFinished = m.dagsFinished;
+    const Histogram *buckets[numLatencyBuckets] = {
+        &m.cpQueueWaitUs, &m.cpManagerUs,  &m.cpDmaInUs,
+        &m.cpComputeUs,   &m.cpDmaOutUs,   &m.cpDepStallUs};
+    for (int b = 0; b < numLatencyBuckets; ++b)
+        run.cpMeanUs[b] = buckets[b]->mean();
+    run.cpTotalMeanUs = m.cpTotalUs.mean();
+    return run;
+}
+
+void
+writeBenchJson(std::ostream &os, const std::vector<BenchRun> &runs,
+               Tick limit, bool smoke)
+{
+    os << "{\n  \"schema\": \"relief-bench-v1\",\n"
+       << "  \"limit_ms\": " << jsonNumber(toMs(limit)) << ",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"runs\": [";
+    bool first = true;
+    for (const BenchRun &run : runs) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n    {\n"
+           << "      \"mix\": \"" << jsonEscape(run.mix) << "\",\n"
+           << "      \"policy\": \"" << policyName(run.policy)
+           << "\",\n"
+           << "      \"host_wall_s\": " << jsonNumber(run.hostWallS)
+           << ",\n"
+           << "      \"sim_ticks\": " << run.simTicks << ",\n"
+           << "      \"sim_events\": " << run.simEvents << ",\n"
+           << "      \"events_per_sec\": "
+           << jsonNumber(run.eventsPerSec()) << ",\n"
+           << "      \"dags_finished\": " << run.dagsFinished << ",\n"
+           << "      \"node_deadline_fraction\": "
+           << jsonNumber(run.nodeDeadlineFraction) << ",\n"
+           << "      \"dag_deadline_fraction\": "
+           << jsonNumber(run.dagDeadlineFraction) << ",\n"
+           << "      \"critical_path_us\": {";
+        for (int b = 0; b < numLatencyBuckets; ++b) {
+            os << (b ? ", " : "") << "\"" << latencyBucketName(b)
+               << "\": " << jsonNumber(run.cpMeanUs[b]);
+        }
+        os << ", \"total\": " << jsonNumber(run.cpTotalMeanUs)
+           << "}\n    }";
+    }
+    os << "\n  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_relief.json";
+    std::vector<std::string> mixes = {"CDL", "GHL", "CG"};
+    std::vector<std::string> policies;
+    for (PolicyKind kind : allPolicies)
+        policies.push_back(policyName(kind));
+    double limit_ms = 50.0;
+    bool continuous = false;
+    bool smoke = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto need_value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "flag " << arg << " needs a value\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--out") {
+            out_path = need_value();
+        } else if (arg == "--mixes") {
+            mixes = splitCsv(need_value());
+        } else if (arg == "--policies") {
+            policies = splitCsv(need_value());
+        } else if (arg == "--limit-ms") {
+            limit_ms = std::atof(need_value().c_str());
+            if (limit_ms <= 0.0) {
+                std::cerr << "--limit-ms needs a positive value\n";
+                return 1;
+            }
+        } else if (arg == "--continuous") {
+            continuous = true;
+        } else if (arg == "--smoke") {
+            smoke = true;
+            mixes = {"CDL"};
+            policies = {policyName(PolicyKind::Fcfs),
+                        policyName(PolicyKind::Relief)};
+            limit_ms = 5.0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: relief_bench [--out FILE] "
+                         "[--mixes LIST] [--policies LIST] "
+                         "[--limit-ms X] [--continuous] [--smoke]\n";
+            return 0;
+        } else {
+            std::cerr << "unknown flag '" << arg << "'\n";
+            return 1;
+        }
+    }
+
+    Tick limit = fromMs(limit_ms);
+    std::vector<BenchRun> runs;
+    try {
+        for (const std::string &mix : mixes) {
+            parseMix(mix); // validate before timing anything
+            for (const std::string &policy : policies) {
+                BenchRun run = runOne(mix, policyFromName(policy),
+                                      limit, continuous);
+                std::cout << "bench " << mix << " / " << policy << ": "
+                          << Table::num(run.hostWallS, 3) << " s host, "
+                          << run.simEvents << " events ("
+                          << Table::num(run.eventsPerSec() / 1e6, 2)
+                          << " M events/s), dag deadline fraction "
+                          << Table::num(run.dagDeadlineFraction, 2)
+                          << "\n";
+                runs.push_back(run);
+            }
+        }
+    } catch (const FatalError &err) {
+        std::cerr << err.what() << "\n";
+        return 1;
+    }
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 1;
+    }
+    writeBenchJson(out, runs, limit, smoke);
+    std::cout << "BENCH JSON written to " << out_path << "\n";
+    return 0;
+}

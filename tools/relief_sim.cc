@@ -11,10 +11,12 @@
  *   relief_sim --mix CG --instances EM=2 --fabric xbar --trace out.json
  *   relief_sim --mix CDL --stats-json stats.json --debug-flags Sched
  *
- * --trace FILE writes a Chrome trace (spans plus counter tracks; load
- * in Perfetto), --stats FILE the gem5-style text dump, --stats-json
- * FILE the stable-schema JSON stats, and --debug-flags LIST enables
- * sim-time-stamped category logging (e.g. Sched,Dma,Mem).
+ * --trace FILE writes a Chrome trace (spans, counter tracks, and
+ * dependency-edge flow arrows; load in Perfetto), --stats FILE the
+ * gem5-style text dump, --stats-json FILE the stable-schema JSON
+ * stats, --latency-breakdown prints the per-DAG critical-path
+ * attribution table, and --debug-flags LIST enables sim-time-stamped
+ * category logging (e.g. Sched,Dma,Mem).
  */
 
 #include <fstream>
@@ -142,6 +144,11 @@ main(int argc, char **argv)
     }
     std::cout << "\n";
     apps.print(std::cout);
+
+    if (config.latencyBreakdown) {
+        std::cout << "\n";
+        soc.printLatencyBreakdown(std::cout);
+    }
 
     if (!trace_path.empty()) {
         std::ofstream out(trace_path);
