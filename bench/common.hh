@@ -8,16 +8,38 @@
 #ifndef RELIEF_BENCH_COMMON_HH
 #define RELIEF_BENCH_COMMON_HH
 
+#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/relief.hh"
 
 namespace relief::bench
 {
+
+/**
+ * Worker threads for the figure benches, from RELIEF_BENCH_JOBS
+ * (0 = one per hardware thread; default 1 = serial). Each (mix,
+ * policy) cell of a panel is an independent simulation, so the
+ * printed tables are identical for any value; only wall-clock
+ * changes.
+ */
+inline int
+benchJobs()
+{
+    static const int jobs = [] {
+        const char *env = std::getenv("RELIEF_BENCH_JOBS");
+        if (!env || !*env)
+            return 1;
+        int v = std::atoi(env);
+        return v <= 0 ? defaultParallelJobs() : v;
+    }();
+    return jobs;
+}
 
 /** Run @p mix under @p policy at @p level (continuous loops for 50 ms). */
 inline MetricsReport
@@ -52,12 +74,26 @@ printPanel(const std::string &title, Contention level,
         header.push_back(policyName(policy));
     table.setHeader(header);
 
+    // Simulate every (mix, policy) cell first — on benchJobs() worker
+    // threads when RELIEF_BENCH_JOBS asks for them — then lay out the
+    // table serially in panel order, so output is job-count-invariant.
+    const std::vector<std::string> mixes = mixesFor(level);
+    std::vector<std::pair<std::size_t, std::size_t>> cells;
+    for (std::size_t m = 0; m < mixes.size(); ++m)
+        for (std::size_t p = 0; p < policies.size(); ++p)
+            cells.emplace_back(m, p);
+    std::vector<double> grid(cells.size());
+    parallelFor(cells.size(), benchJobs(), [&](std::size_t i) {
+        grid[i] = metric(run(mixes[cells[i].first],
+                             policies[cells[i].second], level, base));
+    });
+
     std::map<PolicyKind, std::vector<double>> values;
-    for (const std::string &mix : mixesFor(level)) {
-        std::vector<std::string> row = {mix};
-        for (PolicyKind policy : policies) {
-            double v = metric(run(mix, policy, level, base));
-            values[policy].push_back(v);
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        std::vector<std::string> row = {mixes[m]};
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            double v = grid[m * policies.size() + p];
+            values[policies[p]].push_back(v);
             row.push_back(Table::num(v, precision));
         }
         table.addRow(row);

@@ -48,6 +48,13 @@ def check(doc):
         err("limit_ms: expected a positive number")
     if not isinstance(doc.get("smoke"), bool):
         err("smoke: expected a boolean")
+    # "jobs" (worker threads used) arrived with the parallel runner;
+    # tolerate its absence so older documents stay valid.
+    if "jobs" in doc:
+        jobs = doc["jobs"]
+        if isinstance(jobs, bool) or not isinstance(jobs, int) \
+                or jobs < 1:
+            err("jobs: expected a positive integer, got %r" % (jobs,))
 
     runs = doc.get("runs")
     if not isinstance(runs, list) or not runs:

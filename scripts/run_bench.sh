@@ -3,20 +3,26 @@
 # record a Perfetto trace (spans + counters + dependency-edge flow
 # arrows) of a representative run alongside it.
 #
-# Usage: scripts/run_bench.sh [--smoke] [build-dir] [out-dir]
+# Usage: scripts/run_bench.sh [--smoke] [--jobs N] [build-dir] [out-dir]
 #
 # --smoke runs the tiny CI matrix (one mix, two policies, 5 ms) so the
 # whole job stays under a minute; without it the full default matrix
-# runs. Outputs land in out-dir (default bench-results/):
+# runs. --jobs N executes the matrix points on N worker threads
+# (results are identical for any N; see docs/performance.md). Outputs
+# land in out-dir (default bench-results/):
 #   BENCH_relief.json   relief-bench-v1 document (schema-checked)
 #   trace_CDL.json      Chrome/Perfetto trace of a CDL run
 set -euo pipefail
 
 SMOKE=0
-if [ "${1:-}" = "--smoke" ]; then
-    SMOKE=1
-    shift
-fi
+JOBS=1
+while :; do
+    case "${1:-}" in
+        --smoke) SMOKE=1; shift ;;
+        --jobs) JOBS="${2:?--jobs needs a value}"; shift 2 ;;
+        *) break ;;
+    esac
+done
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench-results}"
@@ -34,9 +40,10 @@ mkdir -p "$OUT_DIR"
 BENCH_JSON="$OUT_DIR/BENCH_relief.json"
 
 if [ "$SMOKE" = 1 ]; then
-    "$BUILD_DIR/tools/relief_bench" --smoke --out "$BENCH_JSON"
+    "$BUILD_DIR/tools/relief_bench" --smoke --jobs "$JOBS" \
+        --out "$BENCH_JSON"
 else
-    "$BUILD_DIR/tools/relief_bench" --out "$BENCH_JSON"
+    "$BUILD_DIR/tools/relief_bench" --jobs "$JOBS" --out "$BENCH_JSON"
 fi
 
 python3 "$SCRIPT_DIR/check_bench_schema.py" "$BENCH_JSON"

@@ -41,7 +41,7 @@ Accelerator::startCompute(Tick duration, Callback on_done)
                  if (cb)
                      cb();
              },
-             name() + ".computeDone");
+             [this] { return name() + ".computeDone"; });
 }
 
 void

@@ -26,7 +26,8 @@
  *   --submit-latency-us X  host command-queue submission cost
  *   --seed N               input/weight generator seed
  *   --debug-flags LIST     enable debug categories, e.g. Sched,Dma
- *                          (Sched|Dma|Mem|Fabric|Stats; see sim/debug.hh)
+ *                          (Sched|Dma|Mem|Fabric|Stats|Event; see
+ *                          sim/debug.hh)
  *   --stats-json FILE      write the stat registry as JSON after the run
  *   --latency-breakdown    print the per-DAG critical-path table
  *   --config FILE          splice flags from a file

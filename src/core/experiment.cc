@@ -6,6 +6,10 @@ namespace relief
 MetricsReport
 runExperiment(const ExperimentConfig &config)
 {
+    // Fresh ids per experiment: results become a pure function of the
+    // config, identical whether runs execute serially or on a
+    // parallel runner's workers (see dag.hh resetNodeIds).
+    resetNodeIds();
     Soc soc(config.soc);
     for (AppId app : parseMix(config.mix)) {
         DagPtr dag = buildApp(app, config.app);

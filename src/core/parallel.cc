@@ -1,0 +1,72 @@
+#include "core/parallel.hh"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/debug.hh"
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+int
+defaultParallelJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? int(hw) : 1;
+}
+
+void
+parallelFor(std::size_t count, int jobs,
+            const std::function<void(std::size_t)> &body)
+{
+    if (jobs <= 0)
+        jobs = defaultParallelJobs();
+    std::size_t workers = std::min<std::size_t>(std::size_t(jobs), count);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex errorLock;
+    std::exception_ptr firstError;
+    // Captured on the launching thread; each worker installs them so
+    // thread-local debug/log state matches a serial run.
+    std::uint32_t flags = debugFlagMask();
+    bool inform = informEnabled();
+
+    auto work = [&]() {
+        setDebugFlagMask(flags);
+        setInformEnabled(inform);
+        while (!failed.load(std::memory_order_relaxed)) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> guard(errorLock);
+                if (!firstError)
+                    firstError = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        pool.emplace_back(work);
+    for (std::thread &thread : pool)
+        thread.join();
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace relief

@@ -11,6 +11,7 @@
 #include "acc/compute_model.hh"
 #include "core/cli.hh"
 #include "core/experiment.hh"
+#include "core/parallel.hh"
 #include "core/periodic.hh"
 #include "core/soc.hh"
 #include "dag/apps/apps.hh"

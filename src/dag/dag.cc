@@ -10,9 +10,23 @@ namespace relief
 
 namespace
 {
-/** Process-wide node id allocator (ids are never reused). */
-NodeId nextNodeId = 1;
+/**
+ * Node id allocator. Thread-local so concurrent experiments on a
+ * parallel runner's workers never race: ids are unique within a
+ * thread, and every DAG of one simulation is built on that
+ * simulation's thread. Experiment entry points call resetNodeIds()
+ * so a simulation's ids are a pure function of its configuration —
+ * ids feed DRAM stream hints, so this is what keeps results
+ * bit-identical across --jobs values.
+ */
+thread_local NodeId nextNodeId = 1;
 } // namespace
+
+void
+resetNodeIds(NodeId base)
+{
+    nextNodeId = base;
+}
 
 void
 Node::resetRuntimeState()

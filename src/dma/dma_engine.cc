@@ -58,7 +58,7 @@ DmaEngine::launch(std::vector<BandwidthResource *> path,
                  if (cb)
                      cb();
              },
-             name() + ".done");
+             [this] { return name() + ".done"; });
     return timing.end;
 }
 
@@ -77,7 +77,7 @@ DmaEngine::launchChunked(std::vector<BandwidthResource *> path,
     // The returned tick is a lower bound on completion (exact when
     // nothing else queues behind us); the callback fires at the true
     // completion time.
-    auto state = std::make_shared<ChunkState>();
+    ChunkState *state = acquireChunk();
     state->path = std::move(path);
     state->remaining = bytes;
     state->onDone = std::move(on_done);
@@ -92,8 +92,29 @@ DmaEngine::launchChunked(std::vector<BandwidthResource *> path,
     return optimistic + transferTime(state->remaining, min_bw);
 }
 
+DmaEngine::ChunkState *
+DmaEngine::acquireChunk()
+{
+    if (chunkFree_.empty()) {
+        chunkPool_.push_back(std::make_unique<ChunkState>());
+        return chunkPool_.back().get();
+    }
+    ChunkState *state = chunkFree_.back();
+    chunkFree_.pop_back();
+    return state;
+}
+
 void
-DmaEngine::issueNextChunk(const std::shared_ptr<ChunkState> &state)
+DmaEngine::releaseChunk(ChunkState *state)
+{
+    state->path.clear(); // keeps capacity for the next transfer
+    state->remaining = 0;
+    state->onDone = nullptr;
+    chunkFree_.push_back(state);
+}
+
+void
+DmaEngine::issueNextChunk(ChunkState *state)
 {
     std::uint64_t n = std::min(state->remaining, config_.burstBytes);
     state->remaining -= n;
@@ -104,11 +125,17 @@ DmaEngine::issueNextChunk(const std::shared_ptr<ChunkState> &state)
                  outstanding_ -= n;
                  if (state->remaining > 0) {
                      issueNextChunk(state);
-                 } else if (state->onDone) {
-                     state->onDone();
+                 } else {
+                     // Recycle before running the callback: on_done may
+                     // start another chunked transfer and reuse this
+                     // very state.
+                     Callback done = std::move(state->onDone);
+                     releaseChunk(state);
+                     if (done)
+                         done();
                  }
              },
-             name() + ".chunk");
+             [this] { return name() + ".chunk"; });
 }
 
 void
@@ -196,7 +223,7 @@ DmaEngine::streamFrom(Scratchpad &producer, PortId producer_port,
                  if (cb)
                      cb();
              },
-             name() + ".streamDone");
+             [this] { return name() + ".streamDone"; });
     return timing.end;
 }
 

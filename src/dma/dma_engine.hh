@@ -122,7 +122,13 @@ class DmaEngine : public SimObject
     void resetStats();
 
   private:
-    /** In-flight burst-mode transfer. */
+    /**
+     * In-flight burst-mode transfer. Instances are pooled: the engine
+     * owns them (chunkPool_) and recycles through a free list, so a
+     * long run of chunked transfers allocates a bounded number of
+     * states instead of one shared_ptr per transfer. Completion events
+     * capture the raw pointer; the engine outlives its events.
+     */
     struct ChunkState
     {
         std::vector<BandwidthResource *> path;
@@ -130,12 +136,15 @@ class DmaEngine : public SimObject
         Callback onDone;
     };
 
+    ChunkState *acquireChunk();
+    void releaseChunk(ChunkState *state);
+
     Tick launch(std::vector<BandwidthResource *> path, std::uint64_t bytes,
                 TrafficClass cls, Callback on_done);
     Tick launchChunked(std::vector<BandwidthResource *> path,
                        std::uint64_t bytes, TrafficClass cls,
                        Callback on_done);
-    void issueNextChunk(const std::shared_ptr<ChunkState> &state);
+    void issueNextChunk(ChunkState *state);
     void accountTraffic(std::uint64_t bytes, TrafficClass cls);
 
     Interconnect &fabric_;
@@ -150,6 +159,8 @@ class DmaEngine : public SimObject
     Counter dramWriteBytes_;
     Counter forwardBytes_;
     std::uint64_t outstanding_ = 0;
+    std::vector<std::unique_ptr<ChunkState>> chunkPool_;
+    std::vector<ChunkState *> chunkFree_;
 };
 
 } // namespace relief

@@ -87,7 +87,7 @@ HardwareManager::submitDag(Dag *dag, Tick when)
         config_.modelSchedulingLatency ? config_.submitLatency : 0;
     sim().at(std::max(when, now()) + submit_cost,
              [this, dag]() { beginDag(dag); },
-             name() + ".submit." + dag->name());
+             [this, dag] { return name() + ".submit." + dag->name(); });
 }
 
 void
@@ -164,7 +164,7 @@ HardwareManager::scheduleReadyNodes(std::vector<Node *> ready)
                  policy_->onNodesReady(ready, ctx, queues_);
                  tryLaunchAll();
              },
-             name() + ".sched");
+             [this] { return name() + ".sched"; });
 }
 
 void
@@ -560,7 +560,7 @@ HardwareManager::handleNodeCompletion(AccState &state, Node *node,
                  }
                  tryLaunchAll();
              },
-             name() + ".isr");
+             [this] { return name() + ".isr"; });
 }
 
 void

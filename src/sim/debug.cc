@@ -8,7 +8,10 @@ namespace relief
 
 namespace
 {
-std::array<bool, numDebugFlags> enabledFlags{};
+// Thread-local so independent simulations on a parallel runner's
+// worker threads keep isolated flag sets (core/parallel.hh copies the
+// launching thread's mask into each worker).
+thread_local std::array<bool, numDebugFlags> enabledFlags{};
 } // namespace
 
 const char *
@@ -25,6 +28,8 @@ debugFlagName(DebugFlag flag)
         return "Fabric";
       case DebugFlag::Stats:
         return "Stats";
+      case DebugFlag::Event:
+        return "Event";
     }
     return "?";
 }
@@ -34,7 +39,7 @@ allDebugFlags()
 {
     static const std::vector<DebugFlag> flags = {
         DebugFlag::Sched, DebugFlag::Dma, DebugFlag::Mem,
-        DebugFlag::Fabric, DebugFlag::Stats,
+        DebugFlag::Fabric, DebugFlag::Stats, DebugFlag::Event,
     };
     return flags;
 }
@@ -88,6 +93,23 @@ void
 clearDebugFlags()
 {
     enabledFlags.fill(false);
+}
+
+std::uint32_t
+debugFlagMask()
+{
+    std::uint32_t mask = 0;
+    for (std::size_t i = 0; i < numDebugFlags; ++i)
+        if (enabledFlags[i])
+            mask |= std::uint32_t(1) << i;
+    return mask;
+}
+
+void
+setDebugFlagMask(std::uint32_t mask)
+{
+    for (std::size_t i = 0; i < numDebugFlags; ++i)
+        enabledFlags[i] = (mask >> i) & 1;
 }
 
 void

@@ -21,6 +21,7 @@
 #define RELIEF_SIM_DEBUG_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -38,10 +39,11 @@ enum class DebugFlag : std::size_t
     Mem,    ///< Main memory / banked memory traffic.
     Fabric, ///< Interconnect reservations.
     Stats,  ///< Stat registry registration and dumps.
+    Event,  ///< Event queue: per-event firing trace + dynamic labels.
 };
 
 /** Number of debug flags (array sizing). */
-constexpr std::size_t numDebugFlags = 5;
+constexpr std::size_t numDebugFlags = 6;
 
 /** Printable name of @p flag ("Sched", "Dma", ...). */
 const char *debugFlagName(DebugFlag flag);
@@ -67,6 +69,14 @@ void setDebugFlags(const std::string &csv);
 
 /** Disable every flag (test isolation). */
 void clearDebugFlags();
+
+/**
+ * Flag state is thread-local (each parallel experiment owns its own
+ * set; see core/parallel.hh). These pack/unpack the calling thread's
+ * flags as a bitmask so a runner can propagate them into workers.
+ */
+std::uint32_t debugFlagMask();
+void setDebugFlagMask(std::uint32_t mask);
 
 /** Emit one debug line: "<tick>: <who>: <msg>" at Debug level. */
 void debugPrint(DebugFlag flag, Tick when, const std::string &who,

@@ -7,8 +7,13 @@ namespace relief
 
 namespace
 {
-bool informEnabled = true;
-LogSink sink;
+// Thread-local: each parallel-runner worker logs through its own sink
+// (default stderr) and inform toggle, so concurrent simulations never
+// race on a shared std::function. Setter APIs are unchanged; they now
+// affect only the calling thread (core/parallel.hh propagates the
+// inform toggle into workers).
+thread_local bool informOn = true;
+thread_local LogSink sink;
 } // namespace
 
 const char *
@@ -32,7 +37,13 @@ logLevelName(LogLevel level)
 void
 setInformEnabled(bool enabled)
 {
-    informEnabled = enabled;
+    informOn = enabled;
+}
+
+bool
+informEnabled()
+{
+    return informOn;
 }
 
 LogSink
@@ -49,7 +60,7 @@ namespace detail
 void
 logLine(LogLevel level, const std::string &msg)
 {
-    if (level == LogLevel::Info && !informEnabled)
+    if (level == LogLevel::Info && !informOn)
         return;
     if (sink) {
         sink(level, msg);

@@ -41,9 +41,10 @@ const char *logLevelName(LogLevel level);
  */
 using LogSink = std::function<void(LogLevel, const std::string &)>;
 
-/** Replace the log sink; an empty function restores the default
- *  stderr sink. Returns the previous sink so callers can chain or
- *  restore it. */
+/** Replace the calling thread's log sink; an empty function restores
+ *  the default stderr sink. Returns the previous sink so callers can
+ *  chain or restore it. The sink is thread-local: parallel-runner
+ *  workers start with the default sink (core/parallel.hh). */
 LogSink setLogSink(LogSink sink);
 
 /** Thrown by panic(): an internal simulator invariant was violated. */
@@ -125,8 +126,12 @@ inform(const Args &...args)
     detail::logLine(LogLevel::Info, detail::concat(args...));
 }
 
-/** Enable/disable inform() output globally (benches keep it quiet). */
+/** Enable/disable inform() output for this thread (benches keep it
+ *  quiet). Log state is thread-local; see core/parallel.hh. */
 void setInformEnabled(bool enabled);
+
+/** Current inform() toggle (for propagating into worker threads). */
+bool informEnabled();
 
 /** panic() unless @p cond holds. */
 #define RELIEF_ASSERT(cond, ...)                                            \

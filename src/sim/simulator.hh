@@ -7,8 +7,8 @@
 #ifndef RELIEF_SIM_SIMULATOR_HH
 #define RELIEF_SIM_SIMULATOR_HH
 
-#include <functional>
 #include <string>
+#include <utility>
 
 #include "sim/event_queue.hh"
 #include "sim/ticks.hh"
@@ -30,19 +30,27 @@ class Simulator
     /** Current simulated time. */
     Tick now() const { return events_.curTick(); }
 
-    /** Schedule @p action at absolute tick @p when. */
+    /**
+     * Schedule @p action at absolute tick @p when. The optional label
+     * may be a string literal (always kept, free) or a nullary
+     * callable returning std::string (evaluated only under the Event
+     * debug flag) — see EventQueue::schedule.
+     */
+    template <typename F, typename... Label>
     EventHandle
-    at(Tick when, std::function<void()> action, std::string label = {})
+    at(Tick when, F &&action, Label &&...label)
     {
-        return events_.schedule(when, std::move(action), std::move(label));
+        return events_.schedule(when, std::forward<F>(action),
+                                std::forward<Label>(label)...);
     }
 
     /** Schedule @p action @p delay ticks from now. */
+    template <typename F, typename... Label>
     EventHandle
-    after(Tick delay, std::function<void()> action, std::string label = {})
+    after(Tick delay, F &&action, Label &&...label)
     {
-        return events_.schedule(now() + delay, std::move(action),
-                                std::move(label));
+        return events_.schedule(now() + delay, std::forward<F>(action),
+                                std::forward<Label>(label)...);
     }
 
     /**

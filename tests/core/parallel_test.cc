@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner (core/parallel.hh) and the
+ * determinism contract it rests on: one simulation's results are a
+ * pure function of its configuration — identical across repeated runs
+ * and across job counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/parallel.hh"
+#include "core/relief.hh"
+
+namespace relief
+{
+namespace
+{
+
+TEST(ParallelForTest, RunsEveryIndexExactlyOnce)
+{
+    constexpr std::size_t kCount = 64;
+    std::vector<std::atomic<int>> hits(kCount);
+    parallelFor(kCount, 4, [&](std::size_t i) { hits[i]++; });
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, OneJobRunsSeriallyOnTheCallingThread)
+{
+    std::set<std::thread::id> ids;
+    parallelFor(8, 1, [&](std::size_t) {
+        ids.insert(std::this_thread::get_id());
+    });
+    ASSERT_EQ(ids.size(), 1u);
+    EXPECT_EQ(*ids.begin(), std::this_thread::get_id());
+}
+
+TEST(ParallelForTest, ZeroCountIsANoOp)
+{
+    bool called = false;
+    parallelFor(0, 4, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, RethrowsTheFirstBodyException)
+{
+    EXPECT_THROW(
+        parallelFor(16, 4,
+                    [&](std::size_t i) {
+                        if (i == 3)
+                            throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+}
+
+TEST(ParallelForTest, WorkersInheritTheLaunchingThreadsDebugFlags)
+{
+    clearDebugFlags();
+    setDebugFlag(DebugFlag::Sched);
+    std::atomic<int> enabled{0};
+    parallelFor(8, 4, [&](std::size_t) {
+        if (debugFlagEnabled(DebugFlag::Sched) &&
+            !debugFlagEnabled(DebugFlag::Dma))
+            enabled++;
+    });
+    clearDebugFlags();
+    EXPECT_EQ(enabled.load(), 8);
+}
+
+/** Final tick, event counts, and the full stats JSON of one run. */
+struct RunFingerprint
+{
+    Tick finalTick = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t scheduled = 0;
+    std::string statsJson;
+
+    bool
+    operator==(const RunFingerprint &other) const
+    {
+        return finalTick == other.finalTick &&
+               executed == other.executed &&
+               scheduled == other.scheduled &&
+               statsJson == other.statsJson;
+    }
+};
+
+RunFingerprint
+fingerprint(const std::string &mix, PolicyKind policy)
+{
+    resetNodeIds();
+    ExperimentConfig config;
+    config.soc.policy = policy;
+    config.mix = mix;
+
+    Soc soc(config.soc);
+    for (AppId app : parseMix(config.mix))
+        soc.submit(buildApp(app, config.app), 0, false);
+    soc.run(config.timeLimit);
+
+    RunFingerprint fp;
+    fp.finalTick = soc.sim().events().curTick();
+    fp.executed = soc.sim().events().numExecuted();
+    fp.scheduled = soc.sim().events().numScheduled();
+    std::ostringstream os;
+    soc.writeStatsJson(os);
+    fp.statsJson = os.str();
+    return fp;
+}
+
+TEST(DeterminismTest, SameConfigTwiceProducesIdenticalResults)
+{
+    RunFingerprint first = fingerprint("CDL", PolicyKind::Relief);
+    RunFingerprint second = fingerprint("CDL", PolicyKind::Relief);
+    EXPECT_EQ(first.finalTick, second.finalTick);
+    EXPECT_EQ(first.executed, second.executed);
+    EXPECT_EQ(first.scheduled, second.scheduled);
+    EXPECT_EQ(first.statsJson, second.statsJson);
+}
+
+TEST(DeterminismTest, ResultsAreIdenticalAcrossJobCounts)
+{
+    // The same four (mix, policy) points, serially and on 8 workers:
+    // every fingerprint — including the full stats JSON — must match.
+    const std::vector<std::pair<std::string, PolicyKind>> matrix = {
+        {"CDL", PolicyKind::Relief},
+        {"CDL", PolicyKind::Fcfs},
+        {"CG", PolicyKind::Relief},
+        {"GHL", PolicyKind::GedfN},
+    };
+
+    std::vector<RunFingerprint> serial(matrix.size());
+    parallelFor(matrix.size(), 1, [&](std::size_t i) {
+        serial[i] = fingerprint(matrix[i].first, matrix[i].second);
+    });
+
+    std::vector<RunFingerprint> parallel(matrix.size());
+    parallelFor(matrix.size(), 8, [&](std::size_t i) {
+        parallel[i] = fingerprint(matrix[i].first, matrix[i].second);
+    });
+
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+        EXPECT_TRUE(serial[i] == parallel[i])
+            << matrix[i].first << " under "
+            << policyName(matrix[i].second)
+            << " diverged between --jobs 1 and --jobs 8";
+        EXPECT_GT(serial[i].executed, 0u);
+    }
+}
+
+} // namespace
+} // namespace relief

@@ -135,6 +135,157 @@ TEST(EventQueueTest, CountsScheduledAndExecuted)
     EXPECT_EQ(q.numExecuted(), 1u);
 }
 
+TEST(EventQueueTest, MillionTrivialEventsNeverTouchTheHeap)
+{
+    // The microbenchmark pin for the zero-allocation claim: a million
+    // model-style events (small captures) all live in the slot's
+    // inline buffer, the slab stays at its first chunk (slots are
+    // recycled through the free list), and nothing falls back to a
+    // heap-allocated callable.
+    EventQueue q;
+    std::uint64_t fired = 0;
+    constexpr int kBatch = 64;
+    constexpr int kRounds = 1000000 / kBatch;
+    Tick when = 0;
+    for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < kBatch; ++i)
+            q.schedule(when + 1 + Tick(i), [&fired] { ++fired; });
+        while (q.runOne()) {
+        }
+        when = q.curTick();
+    }
+    EXPECT_EQ(fired, std::uint64_t(kBatch) * kRounds);
+    EXPECT_EQ(q.numHeapCallables(), 0u);
+    // At most kBatch slots are ever live at once; one chunk suffices.
+    EXPECT_EQ(q.slabCapacity(), 256u);
+}
+
+TEST(EventQueueTest, OversizedCaptureFallsBackToHeapAndIsCounted)
+{
+    EventQueue q;
+    char big[InlineCallable::capacity + 1] = {};
+    big[0] = 42;
+    char result = 0;
+    q.schedule(1, [big, &result] { result = big[0]; });
+    EXPECT_EQ(q.numHeapCallables(), 1u);
+    EXPECT_TRUE(q.runOne());
+    EXPECT_EQ(result, 42);
+}
+
+TEST(EventQueueTest, CancelledSkipsAreCounted)
+{
+    EventQueue q;
+    EventHandle a = q.schedule(10, [] {});
+    EventHandle b = q.schedule(20, [] {});
+    q.schedule(30, [] {});
+    a.cancel();
+    b.cancel();
+    while (q.runOne()) {
+    }
+    EXPECT_EQ(q.numCancelled(), 2u);
+    EXPECT_EQ(q.numExecuted(), 1u);
+}
+
+TEST(EventQueueTest, CompactionPurgesCancelledEntries)
+{
+    EventQueue q;
+    q.setCompactionMinimum(8);
+    std::vector<EventHandle> handles;
+    int fired = 0;
+    for (int i = 0; i < 32; ++i)
+        handles.push_back(
+            q.schedule(Tick(100 + i), [&fired] { ++fired; }));
+    // Cancel most of the heap; once cancelled entries are both >= the
+    // minimum and the majority, the queue compacts in place.
+    for (int i = 0; i < 24; ++i)
+        handles[std::size_t(i)].cancel();
+    EXPECT_GE(q.numCompactions(), 1u);
+    EXPECT_EQ(q.numCancelled(), 24u);
+    // Survivors still fire, in order.
+    Tick last = 0;
+    while (q.runOne())
+        last = q.curTick();
+    EXPECT_EQ(fired, 8);
+    EXPECT_EQ(last, 131u);
+    EXPECT_EQ(q.numExecuted(), 8u);
+}
+
+TEST(EventQueueTest, StaleHandleCannotTouchARecycledSlot)
+{
+    EventQueue q;
+    bool first = false;
+    bool second = false;
+    EventHandle old = q.schedule(10, [&first] { first = true; });
+    EXPECT_TRUE(q.runOne());
+    // The slot is recycled for a new event; the old handle must
+    // neither report it pending nor cancel it.
+    EventHandle fresh = q.schedule(20, [&second] { second = true; });
+    EXPECT_FALSE(old.pending());
+    old.cancel();
+    EXPECT_TRUE(fresh.pending());
+    EXPECT_TRUE(q.runOne());
+    EXPECT_TRUE(first);
+    EXPECT_TRUE(second);
+}
+
+TEST(EventQueueTest, CancellingOwnEventWhileFiringIsANoOp)
+{
+    EventQueue q;
+    EventHandle self;
+    int runs = 0;
+    self = q.schedule(10, [&] {
+        ++runs;
+        self.cancel(); // must not destroy the running callable
+        EXPECT_FALSE(self.pending());
+    });
+    EXPECT_TRUE(q.runOne());
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(EventQueueTest, DynamicLabelsAreLazyUnderTheEventFlag)
+{
+    clearDebugFlags();
+    EventQueue q;
+    int evaluations = 0;
+    auto label = [&evaluations] {
+        ++evaluations;
+        return std::string("expensive.label");
+    };
+    q.schedule(10, [] {}, label);
+    EXPECT_EQ(evaluations, 0); // flag off: never materialized
+
+    setDebugFlag(DebugFlag::Event);
+    q.schedule(20, [] {}, label);
+    EXPECT_EQ(evaluations, 1);
+    clearDebugFlags();
+    while (q.runOne()) {
+    }
+}
+
+TEST(EventQueueTest, EventFlagTracesFiringEvents)
+{
+    clearDebugFlags();
+    setDebugFlag(DebugFlag::Event);
+    std::vector<std::string> lines;
+    LogSink previous = setLogSink(
+        [&lines](LogLevel, const std::string &msg) {
+            lines.push_back(msg);
+        });
+    EventQueue q;
+    q.schedule(10, [] {}, "acc.tick");
+    q.schedule(20, [] {}, [] { return std::string("dma.done"); });
+    q.schedule(30, [] {});
+    while (q.runOne()) {
+    }
+    setLogSink(std::move(previous));
+    clearDebugFlags();
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_NE(lines[0].find("10: event: acc.tick"), std::string::npos);
+    EXPECT_NE(lines[1].find("20: event: dma.done"), std::string::npos);
+    EXPECT_NE(lines[2].find("30: event: (unlabeled)"),
+              std::string::npos);
+}
+
 TEST(EventQueueTest, ManyInterleavedEventsStaySorted)
 {
     EventQueue q;

@@ -17,6 +17,7 @@
  *   relief_bench                          # full matrix -> BENCH_relief.json
  *   relief_bench --smoke --out b.json     # one mix, two policies, 5 ms
  *   relief_bench --mixes CDL,GHL --policies RELIEF,FCFS --limit-ms 20
+ *   relief_bench --jobs 8                 # matrix points on 8 threads
  *
  * Flags:
  *   --out FILE      output path (default BENCH_relief.json)
@@ -25,6 +26,14 @@
  *   --limit-ms X    per-run simulation cap (default 50, the paper's)
  *   --continuous    loop applications until the cap
  *   --smoke         tiny matrix for CI: mix CDL, FCFS+RELIEF, 5 ms
+ *   --jobs N        run matrix points on N worker threads (0 = one
+ *                   per hardware thread). Every (mix, policy) run is
+ *                   an independent simulation, so results — console
+ *                   lines and the JSON document alike — are identical
+ *                   for any N; only wall-clock changes. Per-run
+ *                   events_per_sec is measured while N runs share the
+ *                   host, so prefer --jobs 1 when quoting simulator
+ *                   throughput (see docs/performance.md).
  */
 
 #include <chrono>
@@ -83,6 +92,8 @@ runOne(const std::string &mix, PolicyKind policy, Tick limit,
     run.mix = mix;
     run.policy = policy;
 
+    resetNodeIds(); // results independent of worker-thread history
+
     ExperimentConfig config;
     config.mix = mix;
     config.soc.policy = policy;
@@ -117,11 +128,12 @@ runOne(const std::string &mix, PolicyKind policy, Tick limit,
 
 void
 writeBenchJson(std::ostream &os, const std::vector<BenchRun> &runs,
-               Tick limit, bool smoke)
+               Tick limit, bool smoke, int jobs)
 {
     os << "{\n  \"schema\": \"relief-bench-v1\",\n"
        << "  \"limit_ms\": " << jsonNumber(toMs(limit)) << ",\n"
        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"jobs\": " << jobs << ",\n"
        << "  \"runs\": [";
     bool first = true;
     for (const BenchRun &run : runs) {
@@ -167,6 +179,7 @@ main(int argc, char **argv)
     double limit_ms = 50.0;
     bool continuous = false;
     bool smoke = false;
+    int jobs = 1;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -191,6 +204,14 @@ main(int argc, char **argv)
             }
         } else if (arg == "--continuous") {
             continuous = true;
+        } else if (arg == "--jobs") {
+            jobs = std::atoi(need_value().c_str());
+            if (jobs < 0) {
+                std::cerr << "--jobs needs a non-negative value\n";
+                return 1;
+            }
+            if (jobs == 0)
+                jobs = defaultParallelJobs();
         } else if (arg == "--smoke") {
             smoke = true;
             mixes = {"CDL"};
@@ -200,7 +221,8 @@ main(int argc, char **argv)
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "usage: relief_bench [--out FILE] "
                          "[--mixes LIST] [--policies LIST] "
-                         "[--limit-ms X] [--continuous] [--smoke]\n";
+                         "[--limit-ms X] [--continuous] [--smoke] "
+                         "[--jobs N]\n";
             return 0;
         } else {
             std::cerr << "unknown flag '" << arg << "'\n";
@@ -209,26 +231,41 @@ main(int argc, char **argv)
     }
 
     Tick limit = fromMs(limit_ms);
+
+    // Expand and validate the whole matrix up front, then run its
+    // points (each an independent simulation) on the worker pool.
+    // Results land in index-owned slots, so the printed lines and the
+    // JSON document come out in matrix order for any --jobs value.
+    struct MatrixPoint
+    {
+        std::string mix;
+        PolicyKind policy;
+    };
+    std::vector<MatrixPoint> points;
     std::vector<BenchRun> runs;
     try {
         for (const std::string &mix : mixes) {
             parseMix(mix); // validate before timing anything
-            for (const std::string &policy : policies) {
-                BenchRun run = runOne(mix, policyFromName(policy),
-                                      limit, continuous);
-                std::cout << "bench " << mix << " / " << policy << ": "
-                          << Table::num(run.hostWallS, 3) << " s host, "
-                          << run.simEvents << " events ("
-                          << Table::num(run.eventsPerSec() / 1e6, 2)
-                          << " M events/s), dag deadline fraction "
-                          << Table::num(run.dagDeadlineFraction, 2)
-                          << "\n";
-                runs.push_back(run);
-            }
+            for (const std::string &policy : policies)
+                points.push_back({mix, policyFromName(policy)});
         }
+        runs.resize(points.size());
+        parallelFor(points.size(), jobs, [&](std::size_t i) {
+            runs[i] = runOne(points[i].mix, points[i].policy, limit,
+                             continuous);
+        });
     } catch (const FatalError &err) {
         std::cerr << err.what() << "\n";
         return 1;
+    }
+    for (const BenchRun &run : runs) {
+        std::cout << "bench " << run.mix << " / "
+                  << policyName(run.policy) << ": "
+                  << Table::num(run.hostWallS, 3) << " s host, "
+                  << run.simEvents << " events ("
+                  << Table::num(run.eventsPerSec() / 1e6, 2)
+                  << " M events/s), dag deadline fraction "
+                  << Table::num(run.dagDeadlineFraction, 2) << "\n";
     }
 
     std::ofstream out(out_path);
@@ -236,7 +273,7 @@ main(int argc, char **argv)
         std::cerr << "cannot write " << out_path << "\n";
         return 1;
     }
-    writeBenchJson(out, runs, limit, smoke);
+    writeBenchJson(out, runs, limit, smoke, jobs);
     std::cout << "BENCH JSON written to " << out_path << "\n";
     return 0;
 }
