@@ -51,7 +51,7 @@ run(const std::string &mix, PolicyKind policy, Contention level,
     config.soc.policy = policy;
     config.mix = mix;
     config.continuous = level == Contention::Continuous;
-    config.timeLimit = fromMs(50.0);
+    config.timeLimit = continuousWindow;
     return runExperiment(config);
 }
 

@@ -89,7 +89,7 @@ main()
         std::vector<DagPtr> dags = buildExample();
         for (DagPtr &dag : dags)
             soc.submit(dag);
-        soc.run(fromMs(50.0));
+        soc.run(continuousWindow);
         MetricsReport report = soc.report();
 
         Table sched(std::string("Schedule under ") + policyName(kind));

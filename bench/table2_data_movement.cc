@@ -46,12 +46,12 @@ runAlone(AppId app, bool forwarding)
     Soc soc(config);
     DagPtr dag = buildApp(app);
     soc.submit(dag);
-    soc.run(fromMs(50.0));
+    soc.run(continuousWindow);
     AppRun result;
     result.computeTime = dag->totalComputeTime();
     result.memTime = totalMemTime(*dag);
     result.runtime = dag->complete() ? dag->finishTick() - dag->arrivalTick()
-                                     : fromMs(50.0);
+                                     : continuousWindow;
     return result;
 }
 

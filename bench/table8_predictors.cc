@@ -39,7 +39,7 @@ runWith(const std::string &mix, BwPredictorKind bw, DmPredictorKind dm)
     Soc soc(config);
     for (AppId app : parseMix(mix))
         soc.submit(buildApp(app));
-    soc.run(fromMs(50.0));
+    soc.run(continuousWindow);
     PredRun out;
     out.computeErr = soc.manager().predictor().computeErrorAbsPct();
     out.memoryErr = soc.manager().predictor().memoryErrorPct();

@@ -88,7 +88,7 @@ main()
               << " ms\n\n";
 
     soc.submit(dag);
-    soc.run(fromMs(50.0));
+    soc.run(continuousWindow);
 
     Table sched("schedule (RELIEF on 2xC / 2xEM crossbar platform)");
     sched.setHeader({"node", "acc", "ready (us)", "launch (us)",

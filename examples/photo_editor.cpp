@@ -50,7 +50,7 @@ runBurst(PolicyKind policy)
     DagPtr deblur = buildApp(AppId::Deblur, app_config);
     for (DagPtr dag : {sharpen, sobel, motion, deblur})
         soc.submit(dag);
-    soc.run(fromMs(50.0));
+    soc.run(continuousWindow);
 
     BurstResult result;
     result.report = soc.report();

@@ -54,7 +54,7 @@ main(int argc, char **argv)
         dags.push_back(dag);
     }
 
-    soc.run(fromMs(50.0));
+    soc.run(continuousWindow);
     MetricsReport report = soc.report();
 
     std::cout << "\npolicy: " << policy_name << "\n";

@@ -44,7 +44,7 @@ main(int argc, char **argv)
 
     for (AppId app : parseMix(mix))
         soc.submit(buildApp(app));
-    soc.run(fromMs(50.0));
+    soc.run(continuousWindow);
 
     std::cout << "mix " << mix << " under " << policy_name << ": "
               << trace.numSpans() << " spans across "

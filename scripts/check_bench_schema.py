@@ -1,13 +1,25 @@
 #!/usr/bin/env python3
-"""Validate a relief-bench-v1 BENCH JSON document.
+"""Validate a relief benchmark JSON document.
+
+Dispatches on the document's "schema" field and validates both formats
+the benches emit:
+
+  - relief-bench-v1  (tools/relief_bench, bench smoke)  — documented in
+    docs/observability.md
+  - relief-serve-v1  (bench/serve_load_sweep, tools/relief_serve) —
+    documented in docs/serving.md
 
 Dependency-free (Python standard library only) so CI and developers can
 run it anywhere:
 
     scripts/check_bench_schema.py BENCH_relief.json
+    scripts/check_bench_schema.py BENCH_serve.json
+    scripts/check_bench_schema.py --self-test
 
 Exits 0 when the document is schema-valid, 1 with a diagnostic per
-violation otherwise. The schema is documented in docs/observability.md.
+violation otherwise. --self-test validates the checker itself against
+embedded good and broken documents (run from ctest as
+schema_checker_self_test).
 """
 
 import json
@@ -32,17 +44,21 @@ RUN_FIELDS = {
 FRACTION_FIELDS = ("node_deadline_fraction", "dag_deadline_fraction")
 
 
-def check(doc):
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def is_count(value):
+    return isinstance(value, int) and not isinstance(value, bool) \
+        and value >= 0
+
+
+def check_bench(doc):
     errors = []
 
     def err(msg):
         errors.append(msg)
 
-    if not isinstance(doc, dict):
-        return ["top level: expected an object"]
-    if doc.get("schema") != "relief-bench-v1":
-        err("schema: expected 'relief-bench-v1', got %r"
-            % doc.get("schema"))
     if not isinstance(doc.get("limit_ms"), (int, float)) \
             or doc.get("limit_ms") <= 0:
         err("limit_ms: expected a positive number")
@@ -52,8 +68,7 @@ def check(doc):
     # tolerate its absence so older documents stay valid.
     if "jobs" in doc:
         jobs = doc["jobs"]
-        if isinstance(jobs, bool) or not isinstance(jobs, int) \
-                or jobs < 1:
+        if not is_count(jobs) or jobs < 1:
             err("jobs: expected a positive integer, got %r" % (jobs,))
 
     runs = doc.get("runs")
@@ -75,22 +90,18 @@ def check(doc):
                     % (where, field, kind, value))
         for field in FRACTION_FIELDS:
             value = run.get(field)
-            if isinstance(value, (int, float)) \
-                    and not isinstance(value, bool) \
-                    and not 0.0 <= value <= 1.0:
+            if is_number(value) and not 0.0 <= value <= 1.0:
                 err("%s.%s: %r outside [0, 1]" % (where, field, value))
         for field in ("host_wall_s", "events_per_sec"):
             value = run.get(field)
-            if isinstance(value, (int, float)) \
-                    and not isinstance(value, bool) and value < 0:
+            if is_number(value) and value < 0:
                 err("%s.%s: %r is negative" % (where, field, value))
 
         cp = run.get("critical_path_us")
         if isinstance(cp, dict):
             for bucket in BUCKETS:
                 value = cp.get(bucket)
-                if not isinstance(value, (int, float)) \
-                        or isinstance(value, bool):
+                if not is_number(value):
                     err("%s.critical_path_us.%s: expected a number, "
                         "got %r" % (where, bucket, value))
                 elif value < 0:
@@ -103,9 +114,273 @@ def check(doc):
     return errors
 
 
+SLO_COUNTERS = ("offered", "admitted", "shed", "rejected", "completed",
+                "missed", "in_flight")
+
+SLO_RATES = ("miss_rate", "shed_rate")
+
+QUANTILES = ("mean", "p50", "p95", "p99", "max")
+
+
+def check_slo(where, slo, errors):
+    """Validate one per-class SLO object of a relief-serve-v1 run."""
+
+    def err(msg):
+        errors.append(msg)
+
+    if not isinstance(slo, dict):
+        err("%s: expected an object" % where)
+        return
+    if not isinstance(slo.get("name"), str) or not slo.get("name"):
+        err("%s.name: expected a non-empty string" % where)
+    for field in SLO_COUNTERS:
+        if not is_count(slo.get(field)):
+            err("%s.%s: expected a non-negative integer, got %r"
+                % (where, field, slo.get(field)))
+    if all(is_count(slo.get(f)) for f in SLO_COUNTERS):
+        if slo["offered"] != slo["admitted"] + slo["shed"] \
+                + slo["rejected"]:
+            err("%s: offered != admitted + shed + rejected" % where)
+        if slo["admitted"] != slo["completed"] + slo["in_flight"]:
+            err("%s: admitted != completed + in_flight" % where)
+        if slo["missed"] > slo["completed"]:
+            err("%s: missed > completed" % where)
+    if not is_number(slo.get("goodput_rps")) or slo["goodput_rps"] < 0:
+        err("%s.goodput_rps: expected a non-negative number" % where)
+    for field in SLO_RATES:
+        value = slo.get(field)
+        if not is_number(value) or not 0.0 <= value <= 1.0:
+            err("%s.%s: expected a number in [0, 1], got %r"
+                % (where, field, value))
+    for field in ("latency_ms", "time_in_system_ms"):
+        dist = slo.get(field)
+        if not isinstance(dist, dict):
+            err("%s.%s: expected an object" % (where, field))
+            continue
+        for q in QUANTILES:
+            value = dist.get(q)
+            if not is_number(value) or value < 0:
+                err("%s.%s.%s: expected a non-negative number, got %r"
+                    % (where, field, q, value))
+        if all(is_number(dist.get(q)) for q in QUANTILES) \
+                and not (dist["p50"] <= dist["p95"] <= dist["p99"]
+                         <= dist["max"]):
+            err("%s.%s: quantiles are not monotonic" % (where, field))
+
+
+def check_serve(doc):
+    errors = []
+
+    def err(msg):
+        errors.append(msg)
+
+    if not is_count(doc.get("seed")):
+        err("seed: expected a non-negative integer")
+    if not is_number(doc.get("horizon_ms")) or doc.get("horizon_ms") <= 0:
+        err("horizon_ms: expected a positive number")
+    if not isinstance(doc.get("smoke"), bool):
+        err("smoke: expected a boolean")
+    capacity = doc.get("capacity_rps", None)
+    if capacity is not None and (not is_number(capacity)
+                                 or capacity <= 0):
+        err("capacity_rps: expected a positive number or null")
+
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        err("runs: expected a non-empty array")
+        return errors
+
+    for i, run in enumerate(runs):
+        where = "runs[%d]" % i
+        if not isinstance(run, dict):
+            err("%s: expected an object" % where)
+            continue
+        for field in ("policy", "admission", "arrival"):
+            if not isinstance(run.get(field), str) or not run.get(field):
+                err("%s.%s: expected a non-empty string" % (where, field))
+        # offered_load 0 marks an absolute-rate run (tools/relief_serve).
+        if not is_number(run.get("offered_load")) \
+                or run["offered_load"] < 0:
+            err("%s.offered_load: expected a non-negative number"
+                % where)
+        if not is_number(run.get("rate_rps")) or run["rate_rps"] <= 0:
+            err("%s.rate_rps: expected a positive number" % where)
+        check_slo("%s.total" % where, run.get("total"), errors)
+        classes = run.get("classes")
+        if not isinstance(classes, list) or not classes:
+            err("%s.classes: expected a non-empty array" % where)
+            continue
+        for j, slo in enumerate(classes):
+            check_slo("%s.classes[%d]" % (where, j), slo, errors)
+
+    saturation = doc.get("saturation")
+    if not isinstance(saturation, list):
+        err("saturation: expected an array")
+        return errors
+    for i, entry in enumerate(saturation):
+        where = "saturation[%d]" % i
+        if not isinstance(entry, dict):
+            err("%s: expected an object" % where)
+            continue
+        if not isinstance(entry.get("policy"), str):
+            err("%s.policy: expected a string" % where)
+        knee = entry.get("knee_load", None)
+        if knee is not None and (not is_number(knee) or knee <= 0):
+            err("%s.knee_load: expected a positive number or null"
+                % where)
+    return errors
+
+
+CHECKERS = {
+    "relief-bench-v1": check_bench,
+    "relief-serve-v1": check_serve,
+}
+
+
+def check(doc):
+    if not isinstance(doc, dict):
+        return ["top level: expected an object"]
+    schema = doc.get("schema")
+    checker = CHECKERS.get(schema)
+    if checker is None:
+        return ["schema: expected one of %s, got %r"
+                % (sorted(CHECKERS), schema)]
+    return checker(doc)
+
+
+# --- self test -----------------------------------------------------------
+
+GOOD_BENCH = {
+    "schema": "relief-bench-v1",
+    "limit_ms": 50.0,
+    "smoke": True,
+    "jobs": 2,
+    "runs": [{
+        "mix": "CDL",
+        "policy": "RELIEF",
+        "host_wall_s": 0.5,
+        "sim_ticks": 1000,
+        "sim_events": 200,
+        "events_per_sec": 400.0,
+        "dags_finished": 3,
+        "node_deadline_fraction": 0.9,
+        "dag_deadline_fraction": 1.0,
+        "critical_path_us": {bucket: 1.0 for bucket in BUCKETS},
+    }],
+}
+
+GOOD_SLO = {
+    "name": "realtime",
+    "offered": 10,
+    "admitted": 8,
+    "shed": 1,
+    "rejected": 1,
+    "completed": 6,
+    "missed": 1,
+    "in_flight": 2,
+    "goodput_rps": 100.0,
+    "miss_rate": 0.1667,
+    "shed_rate": 0.2,
+    "latency_ms": {"mean": 2.0, "p50": 1.5, "p95": 4.0, "p99": 5.0,
+                   "max": 6.0},
+    "time_in_system_ms": {"mean": 2.5, "p50": 2.0, "p95": 5.0,
+                          "p99": 6.0, "max": 7.0},
+}
+
+GOOD_SERVE = {
+    "schema": "relief-serve-v1",
+    "seed": 1,
+    "horizon_ms": 50.0,
+    "smoke": False,
+    "capacity_rps": 340.0,
+    "runs": [{
+        "policy": "RELIEF",
+        "admission": "laxity",
+        "arrival": "poisson",
+        "offered_load": 1.0,
+        "rate_rps": 340.0,
+        "total": GOOD_SLO,
+        "classes": [GOOD_SLO],
+    }],
+    "saturation": [{"policy": "RELIEF", "knee_load": 1.2},
+                   {"policy": "FCFS", "knee_load": None}],
+}
+
+
+def mutate(doc, path, value):
+    """Deep-copy @p doc and set the field at @p path to @p value."""
+    copy = json.loads(json.dumps(doc))
+    node = copy
+    for key in path[:-1]:
+        node = node[key]
+    if value is Ellipsis:
+        del node[path[-1]]
+    else:
+        node[path[-1]] = value
+    return copy
+
+
+def self_test():
+    failures = []
+
+    def expect(doc, valid, label):
+        errors = check(doc)
+        if valid and errors:
+            failures.append("%s: expected valid, got %s" % (label, errors))
+        if not valid and not errors:
+            failures.append("%s: expected a violation, got none" % label)
+
+    expect(GOOD_BENCH, True, "good bench doc")
+    expect(GOOD_SERVE, True, "good serve doc")
+    expect([], False, "non-object top level")
+    expect({"schema": "relief-nope-v9", "runs": []}, False,
+           "unknown schema")
+
+    expect(mutate(GOOD_BENCH, ["limit_ms"], -1), False,
+           "bench negative limit_ms")
+    expect(mutate(GOOD_BENCH, ["runs"], []), False, "bench empty runs")
+    expect(mutate(GOOD_BENCH, ["runs", 0, "dags_finished"], "three"),
+           False, "bench non-integer dags_finished")
+    expect(mutate(GOOD_BENCH, ["runs", 0, "node_deadline_fraction"], 1.5),
+           False, "bench fraction outside [0, 1]")
+    expect(mutate(GOOD_BENCH, ["runs", 0, "critical_path_us", "compute"],
+                  Ellipsis), False, "bench missing breakdown bucket")
+
+    expect(mutate(GOOD_SERVE, ["seed"], -1), False, "serve negative seed")
+    expect(mutate(GOOD_SERVE, ["horizon_ms"], 0), False,
+           "serve zero horizon")
+    expect(mutate(GOOD_SERVE, ["capacity_rps"], None), True,
+           "serve null capacity (absolute-rate doc)")
+    expect(mutate(GOOD_SERVE, ["runs"], []), False, "serve empty runs")
+    expect(mutate(GOOD_SERVE, ["runs", 0, "rate_rps"], 0), False,
+           "serve zero rate")
+    expect(mutate(GOOD_SERVE, ["runs", 0, "total", "offered"], 99), False,
+           "serve counter conservation violated")
+    expect(mutate(GOOD_SERVE, ["runs", 0, "total", "miss_rate"], 1.5),
+           False, "serve rate outside [0, 1]")
+    expect(mutate(GOOD_SERVE,
+                  ["runs", 0, "total", "latency_ms", "p95"], 9.0),
+           False, "serve non-monotonic quantiles")
+    expect(mutate(GOOD_SERVE, ["runs", 0, "classes"], []), False,
+           "serve empty classes")
+    expect(mutate(GOOD_SERVE, ["saturation", 0, "knee_load"], -2), False,
+           "serve negative knee")
+    expect(mutate(GOOD_SERVE, ["saturation"], Ellipsis), False,
+           "serve missing saturation")
+
+    for failure in failures:
+        print("self-test failure: %s" % failure, file=sys.stderr)
+    if not failures:
+        print("self-test passed")
+    return 1 if failures else 0
+
+
 def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
     if len(argv) != 2:
-        print("usage: check_bench_schema.py BENCH_FILE", file=sys.stderr)
+        print("usage: check_bench_schema.py (BENCH_FILE | --self-test)",
+              file=sys.stderr)
         return 1
     try:
         with open(argv[1]) as handle:
@@ -119,8 +394,8 @@ def main(argv):
         print("schema violation: %s" % error, file=sys.stderr)
     if errors:
         return 1
-    print("%s: schema-valid relief-bench-v1 (%d runs)"
-          % (argv[1], len(doc["runs"])))
+    print("%s: schema-valid %s (%d runs)"
+          % (argv[1], doc["schema"], len(doc["runs"])))
     return 0
 
 

@@ -22,7 +22,7 @@ struct ExperimentConfig
     SocConfig soc;
     std::string mix = "C";      ///< Application symbols, e.g. "CDL".
     bool continuous = false;    ///< Loop each application (Fig. 10).
-    Tick timeLimit = fromMs(50.0); ///< Paper's simulation cap.
+    Tick timeLimit = continuousWindow; ///< Paper's simulation cap.
     AppConfig app;              ///< DAG-builder knobs.
     std::string debugFlags;    ///< --debug-flags list (already applied).
     std::string statsJsonPath; ///< --stats-json target ("" = off).

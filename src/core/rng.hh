@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload drivers.
+ *
+ * The serving layer (src/serve) generates stochastic request arrivals
+ * that must be bit-identical across platforms, standard libraries, and
+ * worker-thread counts. std::mt19937 is portable but the
+ * std::*_distribution adapters are not (implementations may draw a
+ * different number of variates), so everything here is self-contained:
+ *  - SplitMix64: the canonical 64-bit seed expander (Steele et al.),
+ *  - Xoshiro256pp: xoshiro256++ 1.0 (Blackman & Vigna), seeded through
+ *    SplitMix64, with explicit uniform / exponential / bounded-integer
+ *    / weighted-pick helpers whose draw counts are fixed by this
+ *    header, not by the standard library.
+ */
+
+#ifndef RELIEF_CORE_RNG_HH
+#define RELIEF_CORE_RNG_HH
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace relief
+{
+
+/** SplitMix64: expands one 64-bit seed into a stream of well-mixed
+ *  words. Used to seed the larger generators and to derive independent
+ *  per-run seeds from a (base seed, index) pair. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/** Derive an independent sub-seed from a base seed and an index (one
+ *  arrival schedule per sweep point, one jitter stream per run, ...).
+ *  Pure function of its inputs, so parallel runners can hand every
+ *  matrix point its own stream without coordinating. */
+inline std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t index)
+{
+    // Mix the base on its own before folding in the index: combining
+    // the raw words (base ^ (C + index)) makes adjacent (base, index)
+    // pairs collide, e.g. (1, 1) and (2, 0).
+    SplitMix64 mix(base);
+    SplitMix64 fold(mix.next() ^ index);
+    fold.next();
+    return fold.next();
+}
+
+/** xoshiro256++ 1.0: fast, 256-bit state, passes BigCrush. */
+class Xoshiro256pp
+{
+  public:
+    explicit Xoshiro256pp(std::uint64_t seed)
+    {
+        SplitMix64 mix(seed);
+        for (auto &word : state_)
+            word = mix.next();
+    }
+
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result =
+            rotl(state_[0] + state_[3], 23) + state_[0];
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1), 53-bit resolution. */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Exponential variate with the given @p mean (> 0). Never returns
+     *  infinity: uniform() < 1 keeps the log argument positive. */
+    double
+    exponential(double mean)
+    {
+        return -mean * std::log1p(-uniform());
+    }
+
+    /** Uniform integer in [0, bound) via rejection sampling (unbiased;
+     *  bound 0 returns 0). */
+    std::uint64_t
+    uniformInt(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Reject the tail of the 2^64 range that does not divide
+        // evenly; the loop expects < 2 iterations for any bound.
+        const std::uint64_t limit = -bound % bound; // 2^64 mod bound
+        std::uint64_t draw = next();
+        while (draw < limit)
+            draw = next();
+        return draw % bound;
+    }
+
+    /**
+     * Pick an index in [0, weights.size()) with probability
+     * proportional to its (non-negative) weight. All-zero or empty
+     * weights fall back to index 0. One uniform() draw per call.
+     */
+    std::size_t
+    pickWeighted(const std::vector<double> &weights)
+    {
+        double total = 0.0;
+        for (double w : weights)
+            total += w > 0.0 ? w : 0.0;
+        if (total <= 0.0)
+            return 0;
+        double point = uniform() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            double w = weights[i] > 0.0 ? weights[i] : 0.0;
+            if (point < w)
+                return i;
+            point -= w;
+        }
+        return weights.size() - 1; // guard against rounding at the top
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+};
+
+} // namespace relief
+
+#endif // RELIEF_CORE_RNG_HH

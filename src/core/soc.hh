@@ -165,6 +165,11 @@ class Soc
     /** Every registered model stat (see stats/registry.hh). */
     const StatRegistry &stats() const { return stats_; }
 
+    /** Mutable registry access for layers above the facade (the
+     *  serving driver registers its "serve.*" stats here so one dump
+     *  covers the whole system). */
+    StatRegistry &stats() { return stats_; }
+
     /** Collect the metrics of the run so far. */
     MetricsReport report() const;
 

@@ -1,0 +1,122 @@
+#include "serve/admission.hh"
+
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+const char *
+admissionKindName(AdmissionKind kind)
+{
+    switch (kind) {
+      case AdmissionKind::AdmitAll:
+        return "admit-all";
+      case AdmissionKind::QueueCap:
+        return "queue-cap";
+      case AdmissionKind::Laxity:
+        return "laxity";
+    }
+    return "unknown";
+}
+
+AdmissionKind
+admissionFromName(const std::string &name)
+{
+    if (name == "admit-all")
+        return AdmissionKind::AdmitAll;
+    if (name == "queue-cap")
+        return AdmissionKind::QueueCap;
+    if (name == "laxity")
+        return AdmissionKind::Laxity;
+    fatal("unknown admission policy '", name,
+          "' (admit-all | queue-cap | laxity)");
+}
+
+namespace
+{
+
+class AdmitAllPolicy : public AdmissionPolicy
+{
+  public:
+    AdmissionKind kind() const override { return AdmissionKind::AdmitAll; }
+
+    AdmissionVerdict
+    decide(const ServeRequest &, const Dag &,
+           const AdmissionContext &) override
+    {
+        return AdmissionVerdict::Admitted;
+    }
+};
+
+class QueueCapPolicy : public AdmissionPolicy
+{
+  public:
+    explicit QueueCapPolicy(int cap) : cap_(cap)
+    {
+        if (cap_ < 1)
+            fatal("queue cap must be positive, got ", cap_);
+    }
+
+    AdmissionKind kind() const override { return AdmissionKind::QueueCap; }
+
+    AdmissionVerdict
+    decide(const ServeRequest &, const Dag &,
+           const AdmissionContext &ctx) override
+    {
+        return ctx.inSystem >= cap_ ? AdmissionVerdict::Shed
+                                    : AdmissionVerdict::Admitted;
+    }
+
+  private:
+    int cap_;
+};
+
+class LaxityPolicy : public AdmissionPolicy
+{
+  public:
+    explicit LaxityPolicy(double margin) : margin_(margin)
+    {
+        if (margin_ <= 0.0)
+            fatal("laxity margin must be positive, got ", margin_);
+    }
+
+    AdmissionKind kind() const override { return AdmissionKind::Laxity; }
+
+    AdmissionVerdict
+    decide(const ServeRequest &request, const Dag &dag,
+           const AdmissionContext &ctx) override
+    {
+        // Predicted completion: the in-system backlog drains across
+        // the accelerators while this request's own critical path
+        // still has to execute end to end. Reject when that estimate
+        // already blows the deadline — negative laxity at arrival.
+        int lanes = ctx.parallelism > 0 ? ctx.parallelism : 1;
+        Tick queueing =
+            Tick(double(ctx.backlog) / double(lanes) * margin_ + 0.5);
+        Tick predicted = queueing + dag.criticalPathRuntime();
+        return predicted > request.relDeadline
+                   ? AdmissionVerdict::Rejected
+                   : AdmissionVerdict::Admitted;
+    }
+
+  private:
+    double margin_;
+};
+
+} // namespace
+
+std::unique_ptr<AdmissionPolicy>
+makeAdmissionPolicy(const AdmissionConfig &config)
+{
+    switch (config.kind) {
+      case AdmissionKind::AdmitAll:
+        return std::make_unique<AdmitAllPolicy>();
+      case AdmissionKind::QueueCap:
+        return std::make_unique<QueueCapPolicy>(config.queueCap);
+      case AdmissionKind::Laxity:
+        return std::make_unique<LaxityPolicy>(config.laxityMargin);
+    }
+    panic("unknown admission kind");
+}
+
+} // namespace relief

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Admission control for the serving layer.
+ *
+ * At every request arrival the driver consults a pluggable admission
+ * policy before submitting the request's DAG. Three policies:
+ *
+ *  - admit-all:  every request enters the system (the open-loop
+ *    baseline; tail latency grows without bound past saturation).
+ *  - queue-cap:  load shedding — a request is Shed when the number of
+ *    requests already in the system has reached the cap. Bounds
+ *    time-in-system at the cost of shed work.
+ *  - laxity:     predictive rejection — a request is Rejected when its
+ *    predicted completion (now + backlog/parallelism + its own
+ *    critical path) exceeds its absolute deadline, i.e. when its
+ *    laxity at arrival is already negative. Sheds exactly the work
+ *    that would have missed anyway.
+ *
+ * Shed and Rejected requests are tracked distinctly from deadline
+ * misses in the SLO accounting (serve/slo.hh).
+ */
+
+#ifndef RELIEF_SERVE_ADMISSION_HH
+#define RELIEF_SERVE_ADMISSION_HH
+
+#include <memory>
+#include <string>
+
+#include "dag/dag.hh"
+#include "serve/request.hh"
+
+namespace relief
+{
+
+enum class AdmissionKind
+{
+    AdmitAll,
+    QueueCap,
+    Laxity,
+};
+
+const char *admissionKindName(AdmissionKind kind);
+AdmissionKind admissionFromName(const std::string &name);
+
+/** Knobs for makeAdmissionPolicy(). */
+struct AdmissionConfig
+{
+    AdmissionKind kind = AdmissionKind::AdmitAll;
+    /** queue-cap: maximum requests in the system before shedding. */
+    int queueCap = 64;
+    /** laxity: safety factor on the predicted queueing delay (> 1
+     *  rejects earlier, < 1 later). */
+    double laxityMargin = 1.0;
+};
+
+/** System snapshot handed to the policy at each arrival. */
+struct AdmissionContext
+{
+    Tick now = 0;
+    /** Requests admitted and not yet finished. */
+    int inSystem = 0;
+    /** Sum of the critical-path runtimes of in-system requests that
+     *  have not finished (an optimistic remaining-work estimate). */
+    Tick backlog = 0;
+    /** Accelerator instances available to drain the backlog. */
+    int parallelism = 1;
+};
+
+class AdmissionPolicy
+{
+  public:
+    virtual ~AdmissionPolicy() = default;
+    virtual AdmissionKind kind() const = 0;
+    const char *name() const { return admissionKindName(kind()); }
+
+    /** Decide @p request's fate; @p dag is its (finalized) DAG. */
+    virtual AdmissionVerdict decide(const ServeRequest &request,
+                                    const Dag &dag,
+                                    const AdmissionContext &ctx) = 0;
+};
+
+std::unique_ptr<AdmissionPolicy>
+makeAdmissionPolicy(const AdmissionConfig &config);
+
+} // namespace relief
+
+#endif // RELIEF_SERVE_ADMISSION_HH

@@ -1,0 +1,239 @@
+#include "serve/arrival.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "core/rng.hh"
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+const char *
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Poisson:
+        return "poisson";
+      case ArrivalKind::Bursty:
+        return "bursty";
+      case ArrivalKind::Trace:
+        return "trace";
+    }
+    return "unknown";
+}
+
+ArrivalKind
+arrivalFromName(const std::string &name)
+{
+    if (name == "poisson")
+        return ArrivalKind::Poisson;
+    if (name == "bursty" || name == "mmpp")
+        return ArrivalKind::Bursty;
+    if (name == "trace")
+        return ArrivalKind::Trace;
+    fatal("unknown arrival process '", name,
+          "' (poisson | bursty | trace)");
+}
+
+namespace
+{
+
+/** Draw the class (by weight) and an app (uniform within the class). */
+ArrivalEvent
+drawRequest(Tick time, const std::vector<QosClassConfig> &classes,
+            const std::vector<double> &weights, Xoshiro256pp &rng)
+{
+    ArrivalEvent event;
+    event.time = time;
+    event.qosClass = int(rng.pickWeighted(weights));
+    const auto &apps = classes[std::size_t(event.qosClass)].apps;
+    event.app = apps[rng.uniformInt(apps.size())];
+    return event;
+}
+
+std::vector<double>
+classWeights(const std::vector<QosClassConfig> &classes)
+{
+    RELIEF_ASSERT(!classes.empty(), "serving needs at least one class");
+    std::vector<double> weights;
+    for (const QosClassConfig &cls : classes) {
+        if (cls.apps.empty())
+            fatal("QoS class '", cls.name, "' has no request types");
+        if (cls.weight < 0.0)
+            fatal("QoS class '", cls.name, "' has a negative weight");
+        weights.push_back(cls.weight);
+    }
+    return weights;
+}
+
+/** Exponential inter-arrival gap at @p rate_per_sec, in ticks. */
+Tick
+expGap(double rate_per_sec, Xoshiro256pp &rng)
+{
+    double mean_s = 1.0 / rate_per_sec;
+    // Round up so a pathological tiny draw still advances time.
+    Tick gap = Tick(rng.exponential(mean_s) * double(tickPerSec) + 0.5);
+    return gap > 0 ? gap : 1;
+}
+
+std::vector<ArrivalEvent>
+generatePoisson(double rate_per_sec,
+                const std::vector<QosClassConfig> &classes, Tick horizon,
+                Xoshiro256pp &rng)
+{
+    const std::vector<double> weights = classWeights(classes);
+    std::vector<ArrivalEvent> out;
+    Tick t = 0;
+    for (;;) {
+        Tick gap = expGap(rate_per_sec, rng);
+        if (horizon - t <= gap) // t + gap >= horizon, overflow-safe
+            break;
+        t += gap;
+        out.push_back(drawRequest(t, classes, weights, rng));
+    }
+    return out;
+}
+
+/**
+ * Two-state MMPP: alternate calm/burst intervals with exponential
+ * dwell times, emitting Poisson arrivals at the state's rate inside
+ * each interval. Rates are normalized so the long-run mean equals
+ * config.ratePerSec:
+ *   mean = (1-f) * calm + f * (m * calm)  =>  calm = rate/(1-f+f*m).
+ */
+std::vector<ArrivalEvent>
+generateBursty(const ArrivalConfig &config,
+               const std::vector<QosClassConfig> &classes, Tick horizon,
+               Xoshiro256pp &rng)
+{
+    const double f = config.burstFraction;
+    const double m = config.burstRateMultiplier;
+    if (f <= 0.0 || f >= 1.0)
+        fatal("burst fraction must be in (0, 1), got ", f);
+    if (m < 1.0)
+        fatal("burst rate multiplier must be >= 1, got ", m);
+    if (config.meanBurstDwell == 0)
+        fatal("burst dwell time must be positive");
+    const double calm_rate = config.ratePerSec / (1.0 - f + f * m);
+    const double burst_rate = m * calm_rate;
+    const double burst_dwell_s = toMs(config.meanBurstDwell) / 1e3;
+    const double calm_dwell_s = burst_dwell_s * (1.0 - f) / f;
+
+    const std::vector<double> weights = classWeights(classes);
+    std::vector<ArrivalEvent> out;
+    Tick t = 0;
+    bool burst = false; // start calm; the first dwell draw flips state
+    while (t < horizon) {
+        double dwell_s =
+            rng.exponential(burst ? burst_dwell_s : calm_dwell_s);
+        Tick state_end = t + Tick(dwell_s * double(tickPerSec) + 0.5);
+        if (state_end <= t)
+            state_end = t + 1;
+        state_end = std::min(state_end, horizon);
+        double rate = burst ? burst_rate : calm_rate;
+        Tick at = t;
+        for (;;) {
+            Tick gap = expGap(rate, rng);
+            if (state_end - at <= gap)
+                break;
+            at += gap;
+            out.push_back(drawRequest(at, classes, weights, rng));
+        }
+        t = state_end;
+        burst = !burst;
+    }
+    return out;
+}
+
+int
+findClass(const std::vector<QosClassConfig> &classes,
+          const std::string &name)
+{
+    for (std::size_t i = 0; i < classes.size(); ++i)
+        if (classes[i].name == name)
+            return int(i);
+    return -1;
+}
+
+} // namespace
+
+std::vector<ArrivalEvent>
+parseArrivalTrace(std::istream &in,
+                  const std::vector<QosClassConfig> &classes, Tick horizon)
+{
+    std::vector<ArrivalEvent> out;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        std::string::size_type hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue; // blank or comment-only line
+        std::istringstream fields(line);
+        double time_ms;
+        std::string class_name, app_symbol;
+        if (!(fields >> time_ms))
+            fatal("arrival trace line ", line_no,
+                  ": time column is not a number");
+        if (!(fields >> class_name >> app_symbol))
+            fatal("arrival trace line ", line_no,
+                  ": expected '<time_ms> <class> <app_symbol>'");
+        std::string extra;
+        if (fields >> extra)
+            fatal("arrival trace line ", line_no, ": trailing token '",
+                  extra, "'");
+        if (time_ms < 0.0)
+            fatal("arrival trace line ", line_no, ": negative time");
+
+        ArrivalEvent event;
+        event.time = fromMs(time_ms);
+        int cls = findClass(classes, class_name);
+        if (cls < 0)
+            fatal("arrival trace line ", line_no, ": unknown class '",
+                  class_name, "'");
+        event.qosClass = cls;
+        std::vector<AppId> apps = parseMix(app_symbol);
+        if (apps.size() != 1)
+            fatal("arrival trace line ", line_no,
+                  ": expected one app symbol, got '", app_symbol, "'");
+        event.app = apps[0];
+        const auto &class_apps = classes[std::size_t(cls)].apps;
+        if (std::find(class_apps.begin(), class_apps.end(), event.app) ==
+            class_apps.end()) {
+            fatal("arrival trace line ", line_no, ": app '", app_symbol,
+                  "' is not served by class '", class_name, "'");
+        }
+        if (event.time < horizon)
+            out.push_back(event);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const ArrivalEvent &a, const ArrivalEvent &b) {
+                         return a.time < b.time;
+                     });
+    return out;
+}
+
+std::vector<ArrivalEvent>
+generateArrivals(const ArrivalConfig &config,
+                 const std::vector<QosClassConfig> &classes, Tick horizon,
+                 std::uint64_t seed)
+{
+    if (config.kind == ArrivalKind::Trace) {
+        std::ifstream in(config.tracePath);
+        if (!in)
+            fatal("cannot open arrival trace '", config.tracePath, "'");
+        return parseArrivalTrace(in, classes, horizon);
+    }
+    if (config.ratePerSec <= 0.0)
+        fatal("arrival rate must be positive, got ", config.ratePerSec);
+    Xoshiro256pp rng(seed);
+    if (config.kind == ArrivalKind::Poisson)
+        return generatePoisson(config.ratePerSec, classes, horizon, rng);
+    return generateBursty(config, classes, horizon, rng);
+}
+
+} // namespace relief

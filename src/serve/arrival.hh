@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Open-loop arrival generators for the serving layer.
+ *
+ * Three processes, all driven by the repo's own deterministic RNG
+ * (core/rng.hh) so a seed reproduces the same schedule on every
+ * platform and worker-thread count:
+ *
+ *  - Poisson: exponential inter-arrival times at a fixed mean rate.
+ *  - Bursty:  a two-state Markov-modulated Poisson process (MMPP).
+ *    The stream alternates between a calm and a burst state with
+ *    exponentially distributed dwell times; rates are normalized so
+ *    the long-run mean rate equals the configured rate, keeping
+ *    offered-load multipliers comparable with the Poisson process.
+ *  - Trace:   arrivals replayed from a text file, one per line:
+ *    `<time_ms> <class_name> <app_symbol>` ('#' starts a comment).
+ *
+ * Every arrival carries a QoS class (picked by class weight) and a
+ * request type (picked uniformly among the class's apps). Schedules
+ * are generated up front; admission still happens online at each
+ * arrival's simulation event.
+ */
+
+#ifndef RELIEF_SERVE_ARRIVAL_HH
+#define RELIEF_SERVE_ARRIVAL_HH
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "serve/request.hh"
+#include "sim/ticks.hh"
+
+namespace relief
+{
+
+/** Which arrival process drives the request stream. */
+enum class ArrivalKind
+{
+    Poisson,
+    Bursty, ///< Two-state MMPP.
+    Trace,  ///< Replay from tracePath.
+};
+
+const char *arrivalKindName(ArrivalKind kind);
+ArrivalKind arrivalFromName(const std::string &name);
+
+/** Knobs for generateArrivals(). */
+struct ArrivalConfig
+{
+    ArrivalKind kind = ArrivalKind::Poisson;
+    /** Long-run mean offered rate, requests per second. */
+    double ratePerSec = 200.0;
+    /** Bursty: burst-state rate as a multiple of the calm-state rate. */
+    double burstRateMultiplier = 4.0;
+    /** Bursty: long-run fraction of time spent in the burst state. */
+    double burstFraction = 0.25;
+    /** Bursty: mean dwell time in the burst state. */
+    Tick meanBurstDwell = fromMs(2.0);
+    /** Trace: path of the arrival trace file. */
+    std::string tracePath;
+};
+
+/** One scheduled request arrival. */
+struct ArrivalEvent
+{
+    Tick time = 0;
+    int qosClass = 0;
+    AppId app = AppId::Canny;
+};
+
+/**
+ * Generate the arrival schedule over [0, horizon), sorted by time.
+ * Pure function of (config, classes, horizon, seed). Throws FatalError
+ * on invalid configuration (non-positive rate, unreadable trace, ...).
+ */
+std::vector<ArrivalEvent>
+generateArrivals(const ArrivalConfig &config,
+                 const std::vector<QosClassConfig> &classes, Tick horizon,
+                 std::uint64_t seed);
+
+/**
+ * Parse an arrival trace (see the file grammar above). Class names
+ * must match @p classes; app symbols must belong to the named class.
+ * Arrivals past @p horizon are dropped; the result is sorted by time.
+ * Throws FatalError with line numbers on malformed input.
+ */
+std::vector<ArrivalEvent>
+parseArrivalTrace(std::istream &in,
+                  const std::vector<QosClassConfig> &classes, Tick horizon);
+
+} // namespace relief
+
+#endif // RELIEF_SERVE_ARRIVAL_HH

@@ -1,0 +1,317 @@
+#include "serve/server.hh"
+
+#include <utility>
+
+#include "core/experiment.hh"
+#include "core/rng.hh"
+#include "sim/logging.hh"
+#include "stats/json.hh"
+#include "stats/table.hh"
+
+namespace relief
+{
+
+namespace
+{
+
+/** Build one request's DAG with its QoS-scaled relative deadline.
+ *  The scale must be applied before finalize(): per-node deadlines
+ *  for every scheme derive from the DAG deadline. */
+DagPtr
+buildRequestDag(AppId app, const AppConfig &config, double deadline_scale)
+{
+    DagPtr dag;
+    switch (app) {
+      case AppId::Canny:
+        dag = buildCanny(config);
+        break;
+      case AppId::Deblur:
+        dag = buildDeblur(config);
+        break;
+      case AppId::Gru:
+        dag = buildGru(config);
+        break;
+      case AppId::Harris:
+        dag = buildHarris(config);
+        break;
+      case AppId::Lstm:
+        dag = buildLstm(config);
+        break;
+    }
+    RELIEF_ASSERT(dag != nullptr, "builder returned no DAG");
+    dag->setRelativeDeadline(
+        Tick(double(appDeadline(app)) * deadline_scale + 0.5));
+    dag->finalize();
+    return dag;
+}
+
+} // namespace
+
+ServeDriver::ServeDriver(const ServeConfig &config) : config_(config)
+{
+    if (config_.horizon == 0)
+        fatal("serving horizon must be positive");
+    if (config_.classes.empty())
+        fatal("serving needs at least one QoS class");
+
+    // Fresh ids per run: reports become a pure function of the config
+    // and seed, identical on any parallelFor worker (see dag.hh).
+    resetNodeIds();
+    soc_ = std::make_unique<Soc>(config_.soc);
+    admission_ = makeAdmissionPolicy(config_.admission);
+    schedule_ = generateArrivals(config_.arrival, config_.classes,
+                                 config_.horizon,
+                                 deriveSeed(config_.seed, 0));
+    requests_.resize(schedule_.size());
+    dags_.resize(schedule_.size());
+
+    parallelism_ = 0;
+    for (int n : config_.soc.instances)
+        parallelism_ += n;
+    if (parallelism_ < 1)
+        parallelism_ = 1;
+
+    slo_.resize(config_.classes.size());
+    for (std::size_t i = 0; i < config_.classes.size(); ++i)
+        slo_[i].name = config_.classes[i].name;
+    total_.name = "total";
+
+    soc_->manager().setDagCompletionHandler(
+        [this](Dag *dag) { onComplete(dag); });
+    registerStats();
+}
+
+ServeDriver::~ServeDriver() = default;
+
+void
+ServeDriver::registerStats()
+{
+    StatRegistry &stats = soc_->stats();
+    auto add_class = [&stats, this](const std::string &prefix,
+                                    const ClassSlo &slo) {
+        stats.addCounter(prefix + ".offered", "requests generated",
+                         [&slo] { return slo.offered; });
+        stats.addCounter(prefix + ".admitted", "requests admitted",
+                         [&slo] { return slo.admitted; });
+        stats.addCounter(prefix + ".shed",
+                         "requests dropped by load shedding",
+                         [&slo] { return slo.shed; });
+        stats.addCounter(prefix + ".rejected",
+                         "requests dropped as predicted infeasible",
+                         [&slo] { return slo.rejected; });
+        stats.addCounter(prefix + ".completed",
+                         "requests finished within the horizon",
+                         [&slo] { return slo.completed; });
+        stats.addCounter(prefix + ".missed",
+                         "completions past their deadline",
+                         [&slo] { return slo.missed; });
+        stats.addCounter(prefix + ".in_flight",
+                         "requests still executing at the horizon",
+                         [&slo] { return slo.inFlight; });
+        stats.addFormula(prefix + ".goodput_rps",
+                         "deadline-meeting completions per second",
+                         [&slo, this] {
+                             return slo.goodputRps(config_.horizon);
+                         });
+        stats.addFormula(prefix + ".miss_rate", "missed / completed",
+                         [&slo] { return slo.missRate(); });
+        stats.addFormula(prefix + ".shed_rate",
+                         "(shed + rejected) / offered",
+                         [&slo] { return slo.shedRate(); });
+        stats.addHistogram(prefix + ".latency_ms",
+                           "end-to-end request latency (ms)",
+                           &slo.latencyMs);
+        stats.addHistogram(prefix + ".time_in_system_ms",
+                           "request time in system (ms)",
+                           &slo.timeInSystemMs);
+    };
+    add_class("serve", total_);
+    for (std::size_t i = 0; i < slo_.size(); ++i)
+        add_class("serve." + slo_[i].name, slo_[i]);
+}
+
+void
+ServeDriver::onArrival(std::size_t index)
+{
+    const ArrivalEvent &event = schedule_[index];
+    const QosClassConfig &cls =
+        config_.classes[std::size_t(event.qosClass)];
+
+    ServeRequest &request = requests_[index];
+    request.id = index;
+    request.qosClass = event.qosClass;
+    request.app = event.app;
+    request.arrival = event.time;
+
+    DagPtr dag =
+        buildRequestDag(event.app, config_.app, cls.deadlineScale);
+    request.relDeadline = dag->relativeDeadline();
+
+    AdmissionContext ctx;
+    ctx.now = soc_->sim().now();
+    ctx.inSystem = inSystem_;
+    ctx.backlog = backlog_;
+    ctx.parallelism = parallelism_;
+    request.verdict = admission_->decide(request, *dag, ctx);
+
+    ClassSlo &slo = slo_[std::size_t(event.qosClass)];
+    slo.offered += 1;
+    total_.offered += 1;
+    switch (request.verdict) {
+      case AdmissionVerdict::Shed:
+        slo.shed += 1;
+        total_.shed += 1;
+        return; // DAG is discarded
+      case AdmissionVerdict::Rejected:
+        slo.rejected += 1;
+        total_.rejected += 1;
+        return;
+      case AdmissionVerdict::Admitted:
+        break;
+    }
+
+    slo.admitted += 1;
+    total_.admitted += 1;
+    inSystem_ += 1;
+    backlog_ += dag->criticalPathRuntime();
+    dags_[index] = dag;
+    byDag_[dag.get()] = index;
+    soc_->manager().submitDag(dag.get(), soc_->sim().now());
+}
+
+void
+ServeDriver::onComplete(Dag *dag)
+{
+    auto found = byDag_.find(dag);
+    RELIEF_ASSERT(found != byDag_.end(),
+                  "completion for unknown request DAG ", dag->name());
+    ServeRequest &request = requests_[found->second];
+    RELIEF_ASSERT(!request.finished, "request ", request.id,
+                  " completed twice");
+    request.finished = true;
+    request.finish = dag->finishTick();
+
+    inSystem_ -= 1;
+    backlog_ -= dag->criticalPathRuntime();
+
+    double latency_ms = toMs(request.finish - request.arrival);
+    ClassSlo &slo = slo_[std::size_t(request.qosClass)];
+    for (ClassSlo *s : {&slo, &total_}) {
+        s->completed += 1;
+        if (request.finish > request.absoluteDeadline())
+            s->missed += 1;
+        s->latencyMs.sample(latency_ms);
+        s->timeInSystemMs.sample(latency_ms);
+    }
+}
+
+ServeReport
+ServeDriver::run()
+{
+    RELIEF_ASSERT(!ran_, "ServeDriver::run is single-shot");
+    ran_ = true;
+
+    for (std::size_t i = 0; i < schedule_.size(); ++i) {
+        soc_->sim().at(schedule_[i].time,
+                       [this, i] { onArrival(i); }, "serve.arrival");
+    }
+    soc_->run(config_.horizon);
+
+    // Requests still executing at the horizon: counted as in-flight
+    // (neither completed nor missed) and sampled into time-in-system
+    // at their observed residence so saturation shows up in the tail.
+    for (const ServeRequest &request : requests_) {
+        if (request.verdict != AdmissionVerdict::Admitted ||
+            request.finished) {
+            continue;
+        }
+        double resident_ms = toMs(config_.horizon - request.arrival);
+        ClassSlo &slo = slo_[std::size_t(request.qosClass)];
+        for (ClassSlo *s : {&slo, &total_}) {
+            s->inFlight += 1;
+            s->timeInSystemMs.sample(resident_ms);
+        }
+    }
+
+    ServeReport report;
+    report.horizon = config_.horizon;
+    report.classes = slo_;
+    report.total = total_;
+    report.soc = soc_->report();
+    return report;
+}
+
+void
+printSloTable(std::ostream &os, const ServeReport &report,
+              const std::string &title)
+{
+    Table table(title);
+    table.setHeader({"class", "offered", "admit", "shed", "reject",
+                     "done", "miss", "inflight", "goodput_rps",
+                     "miss%", "shed%", "p50_ms", "p95_ms", "p99_ms"});
+    auto row = [&](const ClassSlo &slo) {
+        table.addRow({slo.name, std::to_string(slo.offered),
+                      std::to_string(slo.admitted),
+                      std::to_string(slo.shed),
+                      std::to_string(slo.rejected),
+                      std::to_string(slo.completed),
+                      std::to_string(slo.missed),
+                      std::to_string(slo.inFlight),
+                      Table::num(slo.goodputRps(report.horizon), 1),
+                      Table::num(slo.missRate() * 100.0, 1),
+                      Table::num(slo.shedRate() * 100.0, 1),
+                      Table::num(slo.latencyMs.quantile(0.50), 2),
+                      Table::num(slo.latencyMs.quantile(0.95), 2),
+                      Table::num(slo.latencyMs.quantile(0.99), 2)});
+    };
+    for (const ClassSlo &slo : report.classes)
+        row(slo);
+    row(report.total);
+    table.emit(os);
+}
+
+void
+writeServeRunJson(std::ostream &os, const ServeReport &report,
+                  const std::string &policy, const std::string &admission,
+                  const std::string &arrival, double offered_load,
+                  double rate_rps, int indent)
+{
+    const std::string pad(std::size_t(indent), ' ');
+    os << "{\n"
+       << pad << "  \"policy\": \"" << jsonEscape(policy) << "\",\n"
+       << pad << "  \"admission\": \"" << jsonEscape(admission)
+       << "\",\n"
+       << pad << "  \"arrival\": \"" << jsonEscape(arrival) << "\",\n"
+       << pad << "  \"offered_load\": " << jsonNumber(offered_load)
+       << ",\n"
+       << pad << "  \"rate_rps\": " << jsonNumber(rate_rps) << ",\n"
+       << pad << "  \"total\": ";
+    writeClassSloJson(os, report.total, report.horizon, indent + 2);
+    os << ",\n" << pad << "  \"classes\": [";
+    bool first = true;
+    for (const ClassSlo &slo : report.classes) {
+        os << (first ? "\n" : ",\n") << pad << "    ";
+        writeClassSloJson(os, slo, report.horizon, indent + 4);
+        first = false;
+    }
+    os << "\n" << pad << "  ]\n" << pad << "}";
+}
+
+double
+measureCapacityRps(const SocConfig &soc, const AppConfig &app)
+{
+    ExperimentConfig config;
+    config.soc = soc;
+    config.soc.policy = PolicyKind::Fcfs;
+    config.mix = "CDGHL";
+    config.continuous = true;
+    config.timeLimit = continuousWindow;
+    config.app = app;
+    MetricsReport report = runExperiment(config);
+    double seconds = double(config.timeLimit) / double(tickPerSec);
+    double capacity = double(report.run.dagsFinished) / seconds;
+    RELIEF_ASSERT(capacity > 0.0, "capacity calibration finished no DAGs");
+    return capacity;
+}
+
+} // namespace relief

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The online serving driver: drives a Soc like an inference server
+ * under open-loop load.
+ *
+ * ServeDriver generates a seeded arrival schedule (serve/arrival.hh),
+ * and at each arrival tick builds a fresh DAG for the request's
+ * application, consults the admission policy (serve/admission.hh),
+ * and submits admitted requests through the hardware manager's timed
+ * host interface. Completions are intercepted to maintain per-class
+ * SLO accounting (serve/slo.hh), which is also registered in the
+ * Soc's StatRegistry under "serve.*" names.
+ *
+ * Determinism contract: a ServeReport is a pure function of
+ * (ServeConfig, seed). The driver resets the thread-local node-id
+ * allocator at construction and draws every random variate from its
+ * own core/rng.hh stream, so results are bit-identical across
+ * platforms and across parallelFor worker counts — the property the
+ * load-sweep bench's --jobs invariance test relies on.
+ *
+ * Typical use (see examples/serve_demo.cpp):
+ *
+ *   ServeConfig config;
+ *   config.soc.policy = PolicyKind::Relief;
+ *   config.arrival.ratePerSec = 400.0;
+ *   config.admission.kind = AdmissionKind::QueueCap;
+ *   ServeDriver driver(config);
+ *   ServeReport report = driver.run();
+ *   printSloTable(std::cout, report, "mixed QoS @ 400 rps");
+ */
+
+#ifndef RELIEF_SERVE_SERVER_HH
+#define RELIEF_SERVE_SERVER_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/soc.hh"
+#include "serve/admission.hh"
+#include "serve/arrival.hh"
+#include "serve/request.hh"
+#include "serve/slo.hh"
+
+namespace relief
+{
+
+/** Everything one serving run needs. */
+struct ServeConfig
+{
+    SocConfig soc;
+    AppConfig app;              ///< DAG-builder knobs for requests.
+    std::vector<QosClassConfig> classes = defaultQosClasses();
+    ArrivalConfig arrival;
+    AdmissionConfig admission;
+    Tick horizon = continuousWindow; ///< Open-loop measurement window.
+    std::uint64_t seed = 1;          ///< Master seed (arrival stream).
+};
+
+/** Outcome of one serving run. */
+struct ServeReport
+{
+    Tick horizon = 0;
+    std::vector<ClassSlo> classes; ///< One entry per QoS class.
+    ClassSlo total;                ///< All classes aggregated.
+    MetricsReport soc;             ///< Underlying platform metrics.
+};
+
+class ServeDriver
+{
+  public:
+    explicit ServeDriver(const ServeConfig &config);
+    ~ServeDriver();
+
+    ServeDriver(const ServeDriver &) = delete;
+    ServeDriver &operator=(const ServeDriver &) = delete;
+
+    /** Execute the run (single-shot) and return its report. */
+    ServeReport run();
+
+    Soc &soc() { return *soc_; }
+    const std::vector<ArrivalEvent> &schedule() const { return schedule_; }
+    /** Per-request records, in arrival order (valid after run()). */
+    const std::vector<ServeRequest> &requests() const { return requests_; }
+
+  private:
+    void registerStats();
+    void onArrival(std::size_t index);
+    void onComplete(Dag *dag);
+
+    ServeConfig config_;
+    std::unique_ptr<Soc> soc_;
+    std::unique_ptr<AdmissionPolicy> admission_;
+    std::vector<ArrivalEvent> schedule_;
+    std::vector<ServeRequest> requests_;
+    std::vector<DagPtr> dags_; ///< Keeps admitted DAGs alive.
+    std::unordered_map<const Dag *, std::size_t> byDag_;
+    std::vector<ClassSlo> slo_;
+    ClassSlo total_;
+    int parallelism_ = 1;
+    int inSystem_ = 0;
+    Tick backlog_ = 0;
+    bool ran_ = false;
+};
+
+/** Print the per-class SLO table (one row per class plus a total). */
+void printSloTable(std::ostream &os, const ServeReport &report,
+                   const std::string &title);
+
+/**
+ * Write one element of a relief-serve-v1 document's "runs" array:
+ * run-level identity (policy / admission / arrival / offered load),
+ * aggregate counters and rates, and the per-class SLO objects.
+ * @p offered_load is the multiplier of measured capacity (0 when the
+ * run was configured with an absolute rate instead).
+ */
+void writeServeRunJson(std::ostream &os, const ServeReport &report,
+                       const std::string &policy,
+                       const std::string &admission,
+                       const std::string &arrival, double offered_load,
+                       double rate_rps, int indent = 4);
+
+/**
+ * Measured serving capacity of @p soc in requests per second: a
+ * closed-loop continuous run of all five applications for the paper's
+ * 50 ms window under FCFS (policy-neutral so every policy in a sweep
+ * sees identical offered rates), counting finished DAGs per second.
+ */
+double measureCapacityRps(const SocConfig &soc, const AppConfig &app);
+
+} // namespace relief
+
+#endif // RELIEF_SERVE_SERVER_HH

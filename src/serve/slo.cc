@@ -1,0 +1,50 @@
+#include "serve/slo.hh"
+
+#include "stats/json.hh"
+
+namespace relief
+{
+
+namespace
+{
+
+void
+writeQuantiles(std::ostream &os, const Histogram &hist)
+{
+    os << "{\"mean\": " << jsonNumber(hist.mean())
+       << ", \"p50\": " << jsonNumber(hist.quantile(0.50))
+       << ", \"p95\": " << jsonNumber(hist.quantile(0.95))
+       << ", \"p99\": " << jsonNumber(hist.quantile(0.99))
+       << ", \"max\": " << jsonNumber(hist.max()) << "}";
+}
+
+} // namespace
+
+void
+writeClassSloJson(std::ostream &os, const ClassSlo &slo, Tick horizon,
+                  int indent)
+{
+    const std::string pad(std::size_t(indent), ' ');
+    os << "{\n"
+       << pad << "  \"name\": \"" << jsonEscape(slo.name) << "\",\n"
+       << pad << "  \"offered\": " << slo.offered << ",\n"
+       << pad << "  \"admitted\": " << slo.admitted << ",\n"
+       << pad << "  \"shed\": " << slo.shed << ",\n"
+       << pad << "  \"rejected\": " << slo.rejected << ",\n"
+       << pad << "  \"completed\": " << slo.completed << ",\n"
+       << pad << "  \"missed\": " << slo.missed << ",\n"
+       << pad << "  \"in_flight\": " << slo.inFlight << ",\n"
+       << pad << "  \"goodput_rps\": "
+       << jsonNumber(slo.goodputRps(horizon)) << ",\n"
+       << pad << "  \"miss_rate\": " << jsonNumber(slo.missRate())
+       << ",\n"
+       << pad << "  \"shed_rate\": " << jsonNumber(slo.shedRate())
+       << ",\n"
+       << pad << "  \"latency_ms\": ";
+    writeQuantiles(os, slo.latencyMs);
+    os << ",\n" << pad << "  \"time_in_system_ms\": ";
+    writeQuantiles(os, slo.timeInSystemMs);
+    os << "\n" << pad << "}";
+}
+
+} // namespace relief

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the admission-control policies: admit-all never drops,
+ * queue-cap sheds exactly at the cap, and laxity rejects exactly the
+ * requests whose predicted completion blows the deadline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dag/apps/apps.hh"
+#include "serve/admission.hh"
+#include "sim/logging.hh"
+
+namespace relief
+{
+namespace
+{
+
+class AdmissionTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dag_ = buildApp(AppId::Gru);
+        request_.app = AppId::Gru;
+        request_.arrival = fromMs(1.0);
+        request_.relDeadline = appDeadline(AppId::Gru);
+    }
+
+    static AdmissionVerdict
+    decide(const AdmissionConfig &config, const ServeRequest &request,
+           const Dag &dag, const AdmissionContext &ctx)
+    {
+        return makeAdmissionPolicy(config)->decide(request, dag, ctx);
+    }
+
+    DagPtr dag_;
+    ServeRequest request_;
+};
+
+TEST_F(AdmissionTest, NamesRoundTrip)
+{
+    EXPECT_EQ(admissionFromName("admit-all"), AdmissionKind::AdmitAll);
+    EXPECT_EQ(admissionFromName("queue-cap"), AdmissionKind::QueueCap);
+    EXPECT_EQ(admissionFromName("laxity"), AdmissionKind::Laxity);
+    EXPECT_STREQ(admissionKindName(AdmissionKind::QueueCap), "queue-cap");
+    EXPECT_THROW(admissionFromName("drop-everything"), FatalError);
+}
+
+TEST_F(AdmissionTest, AdmitAllAdmitsUnderAnyLoad)
+{
+    AdmissionConfig config; // kind defaults to AdmitAll
+    AdmissionContext ctx;
+    ctx.inSystem = 1000000;
+    ctx.backlog = maxTick / 2;
+    EXPECT_EQ(decide(config, request_, *dag_, ctx),
+              AdmissionVerdict::Admitted);
+}
+
+TEST_F(AdmissionTest, QueueCapShedsAtCap)
+{
+    AdmissionConfig config;
+    config.kind = AdmissionKind::QueueCap;
+    config.queueCap = 4;
+    AdmissionContext ctx;
+
+    ctx.inSystem = 3;
+    EXPECT_EQ(decide(config, request_, *dag_, ctx),
+              AdmissionVerdict::Admitted);
+    ctx.inSystem = 4;
+    EXPECT_EQ(decide(config, request_, *dag_, ctx),
+              AdmissionVerdict::Shed);
+    ctx.inSystem = 5;
+    EXPECT_EQ(decide(config, request_, *dag_, ctx),
+              AdmissionVerdict::Shed);
+}
+
+TEST_F(AdmissionTest, QueueCapRejectsBadCap)
+{
+    AdmissionConfig config;
+    config.kind = AdmissionKind::QueueCap;
+    config.queueCap = 0;
+    EXPECT_THROW(makeAdmissionPolicy(config), FatalError);
+}
+
+TEST_F(AdmissionTest, LaxityAdmitsFeasibleRejectsInfeasible)
+{
+    AdmissionConfig config;
+    config.kind = AdmissionKind::Laxity;
+    AdmissionContext ctx;
+    ctx.parallelism = 1;
+
+    // Empty system: the request's own critical path fits the deadline
+    // (the apps are schedulable in isolation by construction).
+    ctx.backlog = 0;
+    ASSERT_LE(dag_->criticalPathRuntime(), request_.relDeadline);
+    EXPECT_EQ(decide(config, request_, *dag_, ctx),
+              AdmissionVerdict::Admitted);
+
+    // Backlog so deep the predicted completion blows the deadline.
+    ctx.backlog = 2 * request_.relDeadline;
+    EXPECT_EQ(decide(config, request_, *dag_, ctx),
+              AdmissionVerdict::Rejected);
+}
+
+TEST_F(AdmissionTest, LaxityScalesBacklogByParallelism)
+{
+    AdmissionConfig config;
+    config.kind = AdmissionKind::Laxity;
+    AdmissionContext ctx;
+
+    // A backlog that is infeasible on one lane but fine spread over 8.
+    ctx.backlog = 2 * request_.relDeadline;
+    ctx.parallelism = 1;
+    EXPECT_EQ(decide(config, request_, *dag_, ctx),
+              AdmissionVerdict::Rejected);
+    ctx.parallelism = 8;
+    EXPECT_EQ(decide(config, request_, *dag_, ctx),
+              AdmissionVerdict::Admitted);
+}
+
+TEST_F(AdmissionTest, LaxityMarginTightensTheBound)
+{
+    AdmissionContext ctx;
+    ctx.parallelism = 1;
+    // Pick a backlog right at the feasibility edge with margin 1.
+    Tick slack = request_.relDeadline - dag_->criticalPathRuntime();
+    ASSERT_GT(slack, 0u);
+    ctx.backlog = slack; // predicted completion == deadline: admitted
+
+    AdmissionConfig config;
+    config.kind = AdmissionKind::Laxity;
+    config.laxityMargin = 1.0;
+    EXPECT_EQ(decide(config, request_, *dag_, ctx),
+              AdmissionVerdict::Admitted);
+
+    config.laxityMargin = 2.0; // same backlog now predicted too slow
+    EXPECT_EQ(decide(config, request_, *dag_, ctx),
+              AdmissionVerdict::Rejected);
+
+    config.laxityMargin = 0.0;
+    EXPECT_THROW(makeAdmissionPolicy(config), FatalError);
+}
+
+} // namespace
+} // namespace relief

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the serving layer's arrival generators: determinism,
+ * schedule well-formedness, rate calibration of the Poisson and MMPP
+ * processes, and the trace-file grammar.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "serve/arrival.hh"
+#include "sim/logging.hh"
+
+namespace relief
+{
+namespace
+{
+
+std::vector<QosClassConfig>
+twoClasses()
+{
+    return {
+        {"rnn", {AppId::Gru, AppId::Lstm}, 3.0, 1.0, 0},
+        {"vision", {AppId::Canny}, 1.0, 2.0, 1},
+    };
+}
+
+TEST(ArrivalNamesTest, RoundTrip)
+{
+    EXPECT_EQ(arrivalFromName("poisson"), ArrivalKind::Poisson);
+    EXPECT_EQ(arrivalFromName("bursty"), ArrivalKind::Bursty);
+    EXPECT_EQ(arrivalFromName("mmpp"), ArrivalKind::Bursty);
+    EXPECT_EQ(arrivalFromName("trace"), ArrivalKind::Trace);
+    EXPECT_STREQ(arrivalKindName(ArrivalKind::Poisson), "poisson");
+    EXPECT_STREQ(arrivalKindName(ArrivalKind::Bursty), "bursty");
+    EXPECT_THROW(arrivalFromName("nope"), FatalError);
+}
+
+TEST(PoissonArrivalTest, DeterministicPerSeed)
+{
+    ArrivalConfig config;
+    config.ratePerSec = 2000.0;
+    auto classes = twoClasses();
+    auto a = generateArrivals(config, classes, fromMs(100.0), 7);
+    auto b = generateArrivals(config, classes, fromMs(100.0), 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].time, b[i].time);
+        EXPECT_EQ(a[i].qosClass, b[i].qosClass);
+        EXPECT_EQ(a[i].app, b[i].app);
+    }
+    auto c = generateArrivals(config, classes, fromMs(100.0), 8);
+    EXPECT_TRUE(a.size() != c.size() ||
+                !std::equal(a.begin(), a.end(), c.begin(),
+                            [](const ArrivalEvent &x, const ArrivalEvent &y) {
+                                return x.time == y.time;
+                            }));
+}
+
+TEST(PoissonArrivalTest, WellFormedSchedule)
+{
+    ArrivalConfig config;
+    config.ratePerSec = 5000.0;
+    auto classes = twoClasses();
+    const Tick horizon = fromMs(200.0);
+    auto events = generateArrivals(config, classes, horizon, 1);
+    ASSERT_FALSE(events.empty());
+    Tick prev = 0;
+    for (const ArrivalEvent &event : events) {
+        EXPECT_GE(event.time, prev);
+        EXPECT_LT(event.time, horizon);
+        prev = event.time;
+        ASSERT_GE(event.qosClass, 0);
+        ASSERT_LT(std::size_t(event.qosClass), classes.size());
+        const auto &apps = classes[event.qosClass].apps;
+        EXPECT_TRUE(std::find(apps.begin(), apps.end(), event.app) !=
+                    apps.end());
+    }
+}
+
+TEST(PoissonArrivalTest, HitsConfiguredRate)
+{
+    ArrivalConfig config;
+    config.ratePerSec = 10000.0;
+    // 1 second: expect 10000 arrivals, sigma = 100; allow 5 sigma.
+    auto events =
+        generateArrivals(config, twoClasses(), fromMs(1000.0), 3);
+    EXPECT_NEAR(double(events.size()), 10000.0, 500.0);
+}
+
+TEST(PoissonArrivalTest, RespectsClassWeights)
+{
+    ArrivalConfig config;
+    config.ratePerSec = 10000.0;
+    auto classes = twoClasses(); // weights 3:1
+    auto events =
+        generateArrivals(config, classes, fromMs(1000.0), 5);
+    ASSERT_GT(events.size(), 1000u);
+    double rnn = 0;
+    for (const ArrivalEvent &event : events)
+        if (event.qosClass == 0)
+            ++rnn;
+    // P(rnn) = 0.75; sigma ~ 0.0043 at n=10000, allow 5 sigma.
+    EXPECT_NEAR(rnn / double(events.size()), 0.75, 0.025);
+}
+
+TEST(PoissonArrivalTest, RejectsBadConfig)
+{
+    ArrivalConfig config;
+    config.ratePerSec = 0.0;
+    EXPECT_THROW(generateArrivals(config, twoClasses(), fromMs(1.0), 1),
+                 FatalError);
+}
+
+TEST(BurstyArrivalTest, LongRunRateMatchesConfigured)
+{
+    ArrivalConfig config;
+    config.kind = ArrivalKind::Bursty;
+    config.ratePerSec = 10000.0;
+    config.burstRateMultiplier = 8.0;
+    config.burstFraction = 0.2;
+    config.meanBurstDwell = fromMs(2.0);
+    // MMPP counts are over-dispersed relative to Poisson; a 10 s
+    // window with ~5000 state switches keeps the sample mean within a
+    // few percent of the configured rate.
+    auto events =
+        generateArrivals(config, twoClasses(), fromMs(10000.0), 11);
+    EXPECT_NEAR(double(events.size()) / 10.0, 10000.0, 1000.0);
+}
+
+TEST(BurstyArrivalTest, BurstsAreDenserThanCalm)
+{
+    ArrivalConfig config;
+    config.kind = ArrivalKind::Bursty;
+    config.ratePerSec = 5000.0;
+    config.burstRateMultiplier = 10.0;
+    config.burstFraction = 0.1;
+    auto events =
+        generateArrivals(config, twoClasses(), fromMs(1000.0), 2);
+    ASSERT_GT(events.size(), 100u);
+    // Count arrivals in 1 ms bins; a bursty stream must have a much
+    // heavier tail (max bin) than its mean bin.
+    std::vector<int> bins(1000, 0);
+    for (const ArrivalEvent &event : events)
+        ++bins[std::size_t(toMs(event.time))];
+    double mean = double(events.size()) / bins.size();
+    int peak = 0;
+    for (int bin : bins)
+        peak = std::max(peak, bin);
+    EXPECT_GT(double(peak), 3.0 * mean);
+}
+
+TEST(BurstyArrivalTest, RejectsBadConfig)
+{
+    ArrivalConfig config;
+    config.kind = ArrivalKind::Bursty;
+    config.burstFraction = 1.5;
+    EXPECT_THROW(generateArrivals(config, twoClasses(), fromMs(1.0), 1),
+                 FatalError);
+    config.burstFraction = 0.25;
+    config.burstRateMultiplier = 0.5;
+    EXPECT_THROW(generateArrivals(config, twoClasses(), fromMs(1.0), 1),
+                 FatalError);
+}
+
+TEST(TraceArrivalTest, ParsesAndSorts)
+{
+    std::istringstream in("# comment line\n"
+                          "2.5 vision C\n"
+                          "\n"
+                          "0.5 rnn G   # trailing comment\n"
+                          "1.0 rnn L\n"
+                          "99.0 vision C\n");
+    auto events = parseArrivalTrace(in, twoClasses(), fromMs(10.0));
+    ASSERT_EQ(events.size(), 3u); // 99 ms is past the horizon
+    EXPECT_EQ(events[0].time, fromMs(0.5));
+    EXPECT_EQ(events[0].qosClass, 0);
+    EXPECT_EQ(events[0].app, AppId::Gru);
+    EXPECT_EQ(events[1].app, AppId::Lstm);
+    EXPECT_EQ(events[2].time, fromMs(2.5));
+    EXPECT_EQ(events[2].qosClass, 1);
+}
+
+TEST(TraceArrivalTest, RejectsMalformedInput)
+{
+    auto classes = twoClasses();
+    {
+        std::istringstream in("1.0 nosuch C\n");
+        EXPECT_THROW(parseArrivalTrace(in, classes, fromMs(10.0)),
+                     FatalError);
+    }
+    {
+        std::istringstream in("1.0 rnn C\n"); // Canny not in rnn class
+        EXPECT_THROW(parseArrivalTrace(in, classes, fromMs(10.0)),
+                     FatalError);
+    }
+    {
+        std::istringstream in("not-a-number rnn G\n");
+        EXPECT_THROW(parseArrivalTrace(in, classes, fromMs(10.0)),
+                     FatalError);
+    }
+    {
+        std::istringstream in("1.0 rnn\n"); // missing app column
+        EXPECT_THROW(parseArrivalTrace(in, classes, fromMs(10.0)),
+                     FatalError);
+    }
+}
+
+TEST(TraceArrivalTest, GenerateArrivalsReadsTraceFile)
+{
+    ArrivalConfig config;
+    config.kind = ArrivalKind::Trace;
+    config.tracePath = "/nonexistent/arrivals.txt";
+    EXPECT_THROW(generateArrivals(config, twoClasses(), fromMs(1.0), 1),
+                 FatalError);
+}
+
+} // namespace
+} // namespace relief

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the serving driver: request-count conservation, the
+ * determinism contract (a report is a pure function of config and
+ * seed), deadline-miss and shedding accounting, stat registration,
+ * and the relief-serve-v1 run serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "serve/server.hh"
+#include "sim/logging.hh"
+
+namespace relief
+{
+namespace
+{
+
+ServeConfig
+smallConfig()
+{
+    ServeConfig config;
+    config.arrival.ratePerSec = 2000.0;
+    config.horizon = fromMs(10.0);
+    config.seed = 5;
+    return config;
+}
+
+std::string
+runJson(const ServeReport &report)
+{
+    std::ostringstream out;
+    writeServeRunJson(out, report, "FCFS", "admit-all", "poisson", 1.0,
+                      2000.0);
+    return out.str();
+}
+
+TEST(ServeDriverTest, ConservesRequestCounts)
+{
+    ServeDriver driver(smallConfig());
+    ServeReport report = driver.run();
+
+    EXPECT_EQ(report.total.offered, driver.schedule().size());
+    EXPECT_GT(report.total.offered, 0u);
+    EXPECT_EQ(report.total.offered, report.total.admitted +
+                                        report.total.shed +
+                                        report.total.rejected);
+    EXPECT_EQ(report.total.admitted,
+              report.total.completed + report.total.inFlight);
+
+    // Per-class counters must sum to the totals.
+    std::uint64_t offered = 0, completed = 0, missed = 0;
+    for (const ClassSlo &cls : report.classes) {
+        offered += cls.offered;
+        completed += cls.completed;
+        missed += cls.missed;
+    }
+    EXPECT_EQ(offered, report.total.offered);
+    EXPECT_EQ(completed, report.total.completed);
+    EXPECT_EQ(missed, report.total.missed);
+
+    // Request records agree with the aggregate counters.
+    std::uint64_t finished = 0;
+    for (const ServeRequest &request : driver.requests())
+        if (request.finished) {
+            ++finished;
+            EXPECT_GE(request.finish, request.arrival);
+        }
+    EXPECT_EQ(finished, report.total.completed);
+}
+
+TEST(ServeDriverTest, ReportIsPureFunctionOfConfigAndSeed)
+{
+    ServeConfig config = smallConfig();
+    ServeDriver first(config);
+    ServeDriver second(config);
+    std::string a = runJson(first.run());
+    std::string b = runJson(second.run());
+    EXPECT_EQ(a, b);
+
+    config.seed = 6;
+    ServeDriver third(config);
+    EXPECT_NE(a, runJson(third.run()));
+}
+
+TEST(ServeDriverTest, ImpossibleDeadlinesAreAllMisses)
+{
+    ServeConfig config = smallConfig();
+    // Deadlines ~100x tighter than the service time: every completion
+    // must be a miss, and goodput must be zero.
+    for (QosClassConfig &cls : config.classes)
+        cls.deadlineScale = 0.01;
+    ServeDriver driver(config);
+    ServeReport report = driver.run();
+    ASSERT_GT(report.total.completed, 0u);
+    EXPECT_EQ(report.total.missed, report.total.completed);
+    EXPECT_EQ(report.total.goodputRps(report.horizon), 0.0);
+    EXPECT_EQ(report.total.missRate(), 1.0);
+}
+
+TEST(ServeDriverTest, QueueCapSheds)
+{
+    ServeConfig config = smallConfig();
+    config.admission.kind = AdmissionKind::QueueCap;
+    config.admission.queueCap = 1;
+    ServeDriver driver(config);
+    ServeReport report = driver.run();
+    EXPECT_GT(report.total.shed, 0u);
+    EXPECT_EQ(report.total.rejected, 0u);
+    EXPECT_GT(report.total.shedRate(), 0.0);
+}
+
+TEST(ServeDriverTest, LaxityRejects)
+{
+    ServeConfig config = smallConfig();
+    config.arrival.ratePerSec = 20000.0; // deep overload
+    config.admission.kind = AdmissionKind::Laxity;
+    ServeDriver driver(config);
+    ServeReport report = driver.run();
+    EXPECT_GT(report.total.rejected, 0u);
+    EXPECT_EQ(report.total.shed, 0u);
+}
+
+TEST(ServeDriverTest, RegistersServeStats)
+{
+    ServeDriver driver(smallConfig());
+    driver.run();
+    std::ostringstream out;
+    driver.soc().writeStatsJson(out);
+    std::string json = out.str();
+    EXPECT_NE(json.find("serve.offered"), std::string::npos);
+    EXPECT_NE(json.find("serve.goodput_rps"), std::string::npos);
+    EXPECT_NE(json.find("serve.realtime.latency_ms"), std::string::npos);
+}
+
+TEST(ServeDriverTest, RunJsonHasSloFields)
+{
+    ServeDriver driver(smallConfig());
+    std::string json = runJson(driver.run());
+    for (const char *field :
+         {"\"policy\"", "\"admission\"", "\"arrival\"", "\"offered_load\"",
+          "\"rate_rps\"", "\"total\"", "\"classes\"", "\"goodput_rps\"",
+          "\"miss_rate\"", "\"shed_rate\"", "\"latency_ms\"", "\"p50\"",
+          "\"p95\"", "\"p99\"", "\"time_in_system_ms\"", "\"realtime\"",
+          "\"interactive\"", "\"batch\""})
+        EXPECT_NE(json.find(field), std::string::npos) << field;
+}
+
+TEST(ServeDriverTest, SloTablePrintsEveryClass)
+{
+    ServeDriver driver(smallConfig());
+    ServeReport report = driver.run();
+    std::ostringstream out;
+    printSloTable(out, report, "test run");
+    std::string table = out.str();
+    EXPECT_NE(table.find("realtime"), std::string::npos);
+    EXPECT_NE(table.find("interactive"), std::string::npos);
+    EXPECT_NE(table.find("batch"), std::string::npos);
+    EXPECT_NE(table.find("total"), std::string::npos);
+}
+
+TEST(ServeDriverTest, RejectsInvalidConfig)
+{
+    ServeConfig config = smallConfig();
+    config.horizon = 0;
+    EXPECT_THROW(ServeDriver{config}, FatalError);
+
+    config = smallConfig();
+    config.classes.clear();
+    EXPECT_THROW(ServeDriver{config}, FatalError);
+}
+
+TEST(ServeDriverTest, RunIsSingleShot)
+{
+    ServeDriver driver(smallConfig());
+    driver.run();
+    EXPECT_THROW(driver.run(), PanicError);
+}
+
+} // namespace
+} // namespace relief

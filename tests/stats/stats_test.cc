@@ -118,6 +118,30 @@ TEST(HistogramQuantileTest, OutOfRangeQIsClamped)
     EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
 }
 
+TEST(HistogramQuantileTest, EmptyAtExtremeQ)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(HistogramQuantileTest, SingleSampleIsEveryQuantile)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(3.7);
+    for (double q : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(h.quantile(q), 3.7) << "q=" << q;
+}
+
+TEST(HistogramQuantileTest, AllEqualSamplesCollapseToThatValue)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 1000; ++i)
+        h.sample(6.25);
+    for (double q : {0.0, 0.5, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(h.quantile(q), 6.25) << "q=" << q;
+}
+
 TEST(GeomeanTest, MatchesHandComputedValue)
 {
     EXPECT_NEAR(geomean({1.0, 4.0, 16.0}), 4.0, 1e-9);

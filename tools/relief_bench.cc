@@ -176,7 +176,7 @@ main(int argc, char **argv)
     std::vector<std::string> policies;
     for (PolicyKind kind : allPolicies)
         policies.push_back(policyName(kind));
-    double limit_ms = 50.0;
+    double limit_ms = toMs(continuousWindow);
     bool continuous = false;
     bool smoke = false;
     int jobs = 1;

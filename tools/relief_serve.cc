@@ -1,0 +1,150 @@
+/**
+ * @file
+ * relief_serve — the online serving driver CLI.
+ *
+ * Runs one open-loop serving experiment: stochastic request arrivals
+ * against a configured platform and scheduling policy, with QoS
+ * classes, admission control, and per-class SLO accounting
+ * (docs/serving.md). Prints the per-class SLO table and optionally
+ * writes a single-run relief-serve-v1 JSON document.
+ *
+ * Examples:
+ *
+ *   relief_serve --policy RELIEF --rate 400
+ *   relief_serve --arrival bursty --rate 600 --admission queue-cap \
+ *       --queue-cap 32 --horizon-ms 100 --seed 7 --out serve.json
+ *   relief_serve --arrival trace --trace-file arrivals.txt
+ *
+ * Flags:
+ *   --policy NAME        scheduling policy (default RELIEF)
+ *   --rate X             mean offered rate, requests/s (default 200)
+ *   --arrival KIND       poisson | bursty | trace (default poisson)
+ *   --trace-file FILE    arrival trace for --arrival trace
+ *   --burst-mult X       bursty: burst-state rate multiplier (default 4)
+ *   --burst-frac X       bursty: fraction of time in burst (default .25)
+ *   --admission KIND     admit-all | queue-cap | laxity (default
+ *                        admit-all)
+ *   --queue-cap N        queue-cap: in-system request cap (default 64)
+ *   --horizon-ms X       measurement window (default 50, the paper's)
+ *   --seed N             arrival-stream seed (default 1)
+ *   --stats-json FILE    dump the full stat registry (incl. serve.*)
+ *   --out FILE           write a relief-serve-v1 JSON document
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/cli.hh"
+#include "core/relief.hh"
+#include "serve/server.hh"
+#include "stats/json.hh"
+
+using namespace relief;
+
+int
+main(int argc, char **argv)
+{
+    ServeConfig config;
+    std::string out_path;
+    std::string stats_json_path;
+    double horizon_ms = toMs(continuousWindow);
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            auto need_value = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    fatal("flag ", arg, " needs a value");
+                return argv[++i];
+            };
+            if (arg == "--policy") {
+                config.soc.policy = policyFromName(need_value());
+            } else if (arg == "--rate") {
+                config.arrival.ratePerSec =
+                    std::atof(need_value().c_str());
+                if (config.arrival.ratePerSec <= 0.0)
+                    fatal("--rate needs a positive value");
+            } else if (arg == "--arrival") {
+                config.arrival.kind = arrivalFromName(need_value());
+            } else if (arg == "--trace-file") {
+                config.arrival.tracePath = need_value();
+            } else if (arg == "--burst-mult") {
+                config.arrival.burstRateMultiplier =
+                    std::atof(need_value().c_str());
+            } else if (arg == "--burst-frac") {
+                config.arrival.burstFraction =
+                    std::atof(need_value().c_str());
+            } else if (arg == "--admission") {
+                config.admission.kind = admissionFromName(need_value());
+            } else if (arg == "--queue-cap") {
+                config.admission.queueCap =
+                    std::atoi(need_value().c_str());
+            } else if (arg == "--horizon-ms") {
+                horizon_ms = std::atof(need_value().c_str());
+                if (horizon_ms <= 0.0)
+                    fatal("--horizon-ms needs a positive value");
+            } else if (arg == "--seed") {
+                config.seed =
+                    std::uint64_t(std::atoll(need_value().c_str()));
+            } else if (arg == "--stats-json") {
+                stats_json_path = need_value();
+            } else if (arg == "--out") {
+                out_path = need_value();
+            } else if (arg == "--help" || arg == "-h") {
+                std::cout
+                    << "usage: relief_serve [--policy NAME] [--rate X] "
+                       "[--arrival poisson|bursty|trace] "
+                       "[--trace-file FILE] [--burst-mult X] "
+                       "[--burst-frac X] "
+                       "[--admission admit-all|queue-cap|laxity] "
+                       "[--queue-cap N] [--horizon-ms X] [--seed N] "
+                       "[--stats-json FILE] [--out FILE]\n";
+                return 0;
+            } else {
+                fatal("unknown flag '", arg, "'");
+            }
+        }
+        config.horizon = fromMs(horizon_ms);
+
+        ServeDriver driver(config);
+        ServeReport report = driver.run();
+
+        std::cout << "serve: " << policyName(config.soc.policy) << " / "
+                  << admissionKindName(config.admission.kind) << " / "
+                  << arrivalKindName(config.arrival.kind) << " @ "
+                  << Table::num(config.arrival.ratePerSec, 1)
+                  << " rps for " << Table::num(horizon_ms, 1)
+                  << " ms (seed " << config.seed << ")\n\n";
+        printSloTable(std::cout, report, "Per-class SLO report");
+
+        if (!stats_json_path.empty()) {
+            std::ofstream out(stats_json_path);
+            if (!out)
+                fatal("cannot write ", stats_json_path);
+            driver.soc().writeStatsJson(out);
+        }
+        if (!out_path.empty()) {
+            std::ofstream out(out_path);
+            if (!out)
+                fatal("cannot write ", out_path);
+            out << "{\n  \"schema\": \"relief-serve-v1\",\n"
+                << "  \"seed\": " << config.seed << ",\n"
+                << "  \"horizon_ms\": " << jsonNumber(horizon_ms)
+                << ",\n  \"smoke\": false,\n"
+                << "  \"capacity_rps\": null,\n"
+                << "  \"runs\": [\n    ";
+            writeServeRunJson(out, report,
+                              policyName(config.soc.policy),
+                              admissionKindName(config.admission.kind),
+                              arrivalKindName(config.arrival.kind),
+                              0.0, config.arrival.ratePerSec, 4);
+            out << "\n  ],\n  \"saturation\": []\n}\n";
+            std::cout << "\nserve JSON written to " << out_path << "\n";
+        }
+    } catch (const FatalError &err) {
+        std::cerr << err.what() << "\n";
+        return 1;
+    }
+    return 0;
+}
