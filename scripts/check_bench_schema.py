@@ -8,6 +8,8 @@ the benches emit:
     docs/observability.md
   - relief-serve-v1  (bench/serve_load_sweep, tools/relief_serve) —
     documented in docs/serving.md
+  - relief-trace-v1  (relief_serve --trace-json: tail-sampled request
+    span trees) — documented in docs/serving.md
 
 Dependency-free (Python standard library only) so CI and developers can
 run it anywhere:
@@ -168,6 +170,60 @@ def check_slo(where, slo, errors):
             err("%s.%s: quantiles are not monotonic" % (where, field))
 
 
+def check_alerts(where, alerts, errors):
+    """Validate one run's burn-rate "alerts" array (serve/alerts.hh)."""
+
+    def err(msg):
+        errors.append(msg)
+
+    if not isinstance(alerts, list):
+        err("%s: expected an array" % where)
+        return
+    for i, entry in enumerate(alerts):
+        ewhere = "%s[%d]" % (where, i)
+        if not isinstance(entry, dict):
+            err("%s: expected an object" % ewhere)
+            continue
+        if not isinstance(entry.get("class"), str) \
+                or not entry.get("class"):
+            err("%s.class: expected a non-empty string" % ewhere)
+        for field in ("opens", "closes"):
+            if not is_count(entry.get(field)):
+                err("%s.%s: expected a non-negative integer, got %r"
+                    % (ewhere, field, entry.get(field)))
+        if not isinstance(entry.get("active"), bool):
+            err("%s.active: expected a boolean" % ewhere)
+        elif is_count(entry.get("opens")) and is_count(entry.get("closes")):
+            # An alert is a strict open/close alternation starting with
+            # an open, so it is still active iff opens == closes + 1.
+            expected = entry["closes"] + (1 if entry["active"] else 0)
+            if entry["opens"] != expected:
+                err("%s: opens/closes inconsistent with active" % ewhere)
+        for field in ("active_ms", "final_fast_burn", "final_slow_burn"):
+            value = entry.get(field)
+            if not is_number(value) or value < 0:
+                err("%s.%s: expected a non-negative number, got %r"
+                    % (ewhere, field, value))
+        events = entry.get("events")
+        if not isinstance(events, list):
+            err("%s.events: expected an array" % ewhere)
+            continue
+        for j, event in enumerate(events):
+            vwhere = "%s.events[%d]" % (ewhere, j)
+            if not isinstance(event, dict):
+                err("%s: expected an object" % vwhere)
+                continue
+            if not is_number(event.get("t_ms")) or event["t_ms"] < 0:
+                err("%s.t_ms: expected a non-negative number" % vwhere)
+            if not isinstance(event.get("open"), bool):
+                err("%s.open: expected a boolean" % vwhere)
+            for field in ("fast_burn", "slow_burn"):
+                value = event.get(field)
+                if not is_number(value) or value < 0:
+                    err("%s.%s: expected a non-negative number, got %r"
+                        % (vwhere, field, value))
+
+
 def check_serve(doc):
     errors = []
 
@@ -212,6 +268,10 @@ def check_serve(doc):
             continue
         for j, slo in enumerate(classes):
             check_slo("%s.classes[%d]" % (where, j), slo, errors)
+        # "alerts" arrived with the burn-rate evaluator; tolerate its
+        # absence so older documents stay valid.
+        if "alerts" in run:
+            check_alerts("%s.alerts" % where, run["alerts"], errors)
 
     saturation = doc.get("saturation")
     if not isinstance(saturation, list):
@@ -231,9 +291,166 @@ def check_serve(doc):
     return errors
 
 
+SAMPLING_COUNTERS = ("offered", "admitted", "kept_ok", "kept_miss",
+                     "kept_shed", "kept_rejected", "dropped")
+
+OUTCOMES = ("ok", "miss", "shed", "rejected", "in_flight")
+
+SPAN_KINDS = ("request", "admission", "node", "queue_wait", "dispatch",
+              "dma_in", "compute", "dma_out")
+
+# One sim tick is 1 ps = 1e-6 us; timestamps are rounded to ~9
+# significant digits on export, so allow a loose microsecond slack.
+SPAN_TOLERANCE_US = 0.001
+
+
+def check_request_trace(where, req, errors):
+    """Validate one request record of a relief-trace-v1 document."""
+
+    def err(msg):
+        errors.append(msg)
+
+    if not isinstance(req, dict):
+        err("%s: expected an object" % where)
+        return
+    if not is_count(req.get("id")):
+        err("%s.id: expected a non-negative integer" % where)
+    for field in ("class", "app"):
+        if not isinstance(req.get(field), str) or not req.get(field):
+            err("%s.%s: expected a non-empty string" % (where, field))
+    outcome = req.get("outcome")
+    if outcome not in OUTCOMES:
+        err("%s.outcome: expected one of %s, got %r"
+            % (where, OUTCOMES, outcome))
+    for field in ("arrival_us", "finish_us", "deadline_us",
+                  "latency_us"):
+        value = req.get(field)
+        if not is_number(value) or value < 0:
+            err("%s.%s: expected a non-negative number, got %r"
+                % (where, field, value))
+    if is_number(req.get("arrival_us")) and is_number(req.get("finish_us")) \
+            and req["finish_us"] < req["arrival_us"]:
+        err("%s: finish_us before arrival_us" % where)
+
+    buckets = req.get("buckets_us")
+    if not isinstance(buckets, dict):
+        err("%s.buckets_us: expected an object" % where)
+    else:
+        for bucket in BUCKETS:
+            value = buckets.get(bucket)
+            if not is_number(value) or value < 0:
+                err("%s.buckets_us.%s: expected a non-negative number, "
+                    "got %r" % (where, bucket, value))
+
+    spans = req.get("spans")
+    if not isinstance(spans, list) or not spans:
+        err("%s.spans: expected a non-empty array" % where)
+        return
+    for j, span in enumerate(spans):
+        swhere = "%s.spans[%d]" % (where, j)
+        if not isinstance(span, dict):
+            err("%s: expected an object" % swhere)
+            return
+        if span.get("kind") not in SPAN_KINDS:
+            err("%s.kind: expected one of %s, got %r"
+                % (swhere, SPAN_KINDS, span.get("kind")))
+        parent = span.get("parent")
+        if not isinstance(parent, int) or isinstance(parent, bool):
+            err("%s.parent: expected an integer" % swhere)
+            return
+        if j == 0:
+            if span.get("kind") != "request" or parent != -1:
+                err("%s: spans[0] must be the 'request' root with "
+                    "parent -1" % where)
+        elif not 0 <= parent < j:
+            err("%s.parent: %d not an earlier span index" % (swhere,
+                                                             parent))
+        for field in ("start_us", "end_us"):
+            if not is_number(span.get(field)):
+                err("%s.%s: expected a number" % (swhere, field))
+                return
+        if span["end_us"] < span["start_us"]:
+            err("%s: end_us before start_us" % swhere)
+        if j > 0 and 0 <= parent < j:
+            outer = spans[parent]
+            if is_number(outer.get("start_us")) \
+                    and is_number(outer.get("end_us")) \
+                    and (span["start_us"]
+                         < outer["start_us"] - SPAN_TOLERANCE_US
+                         or span["end_us"]
+                         > outer["end_us"] + SPAN_TOLERANCE_US):
+                err("%s: does not nest within its parent" % swhere)
+
+    # The root's synchronous children (everything but the overlapping
+    # asynchronous dma_out write-backs) are disjoint: their durations
+    # sum to at most the root duration.
+    root = spans[0]
+    if is_number(root.get("start_us")) and is_number(root.get("end_us")):
+        sync_sum = sum(
+            s["end_us"] - s["start_us"] for s in spans[1:]
+            if isinstance(s, dict) and s.get("parent") == 0
+            and s.get("kind") != "dma_out"
+            and is_number(s.get("start_us")) and is_number(s.get("end_us")))
+        if sync_sum > (root["end_us"] - root["start_us"]
+                       + SPAN_TOLERANCE_US):
+            err("%s: synchronous child spans exceed the root span"
+                % where)
+
+
+def check_trace(doc):
+    errors = []
+
+    def err(msg):
+        errors.append(msg)
+
+    if not is_count(doc.get("seed")):
+        err("seed: expected a non-negative integer")
+    if not is_number(doc.get("horizon_ms")) or doc.get("horizon_ms") <= 0:
+        err("horizon_ms: expected a positive number")
+    fraction = doc.get("ok_fraction")
+    if not is_number(fraction) or not 0.0 <= fraction <= 1.0:
+        err("ok_fraction: expected a number in [0, 1], got %r"
+            % (fraction,))
+
+    sampling = doc.get("sampling")
+    if not isinstance(sampling, dict):
+        err("sampling: expected an object")
+        return errors
+    for field in SAMPLING_COUNTERS:
+        if not is_count(sampling.get(field)):
+            err("sampling.%s: expected a non-negative integer, got %r"
+                % (field, sampling.get(field)))
+    requests = doc.get("requests")
+    if not isinstance(requests, list):
+        err("requests: expected an array")
+        return errors
+
+    if all(is_count(sampling.get(f)) for f in SAMPLING_COUNTERS):
+        # Tail-sampling conservation (trace/sampler.hh): every admitted
+        # request is kept-ok, kept-anomalous, or dropped; every offered
+        # request is admitted or a kept shed/reject.
+        if sampling["kept_ok"] + sampling["kept_miss"] \
+                + sampling["dropped"] != sampling["admitted"]:
+            err("sampling: kept_ok + kept_miss + dropped != admitted")
+        if sampling["admitted"] + sampling["kept_shed"] \
+                + sampling["kept_rejected"] != sampling["offered"]:
+            err("sampling: admitted + kept_shed + kept_rejected "
+                "!= offered")
+        kept = sampling["kept_ok"] + sampling["kept_miss"] \
+            + sampling["kept_shed"] + sampling["kept_rejected"]
+        if len(requests) != kept:
+            err("requests: %d records but sampling says %d kept"
+                % (len(requests), kept))
+
+    for i, req in enumerate(requests):
+        check_request_trace("requests[%d]" % i, req, errors)
+    return errors
+
+
 CHECKERS = {
     "relief-bench-v1": check_bench,
     "relief-serve-v1": check_serve,
+    "relief-trace-v1": check_trace,
 }
 
 
@@ -287,6 +504,22 @@ GOOD_SLO = {
                           "p99": 6.0, "max": 7.0},
 }
 
+GOOD_ALERTS = [{
+    "class": "realtime",
+    "opens": 2,
+    "closes": 1,
+    "active": True,
+    "active_ms": 8.5,
+    "final_fast_burn": 10.0,
+    "final_slow_burn": 6.7,
+    "events": [
+        {"t_ms": 4.0, "open": True, "fast_burn": 3.0, "slow_burn": 2.1},
+        {"t_ms": 9.0, "open": False, "fast_burn": 0.5, "slow_burn": 0.9},
+        {"t_ms": 12.0, "open": True, "fast_burn": 10.0,
+         "slow_burn": 6.7},
+    ],
+}]
+
 GOOD_SERVE = {
     "schema": "relief-serve-v1",
     "seed": 1,
@@ -301,9 +534,108 @@ GOOD_SERVE = {
         "rate_rps": 340.0,
         "total": GOOD_SLO,
         "classes": [GOOD_SLO],
+        "alerts": GOOD_ALERTS,
     }],
     "saturation": [{"policy": "RELIEF", "knee_load": 1.2},
                    {"policy": "FCFS", "knee_load": None}],
+}
+
+GOOD_TRACE = {
+    "schema": "relief-trace-v1",
+    "seed": 1,
+    "horizon_ms": 20.0,
+    "ok_fraction": 0.25,
+    "sampling": {
+        "offered": 5,
+        "admitted": 3,
+        "kept_ok": 1,
+        "kept_miss": 1,
+        "kept_shed": 1,
+        "kept_rejected": 1,
+        "dropped": 1,
+    },
+    "requests": [
+        {
+            # A completed miss with a full span tree: root, admission,
+            # one node with its four phases, one async write-back.
+            "id": 0,
+            "class": "realtime",
+            "app": "canny",
+            "outcome": "miss",
+            "arrival_us": 100.0,
+            "finish_us": 300.0,
+            "deadline_us": 250.0,
+            "latency_us": 200.0,
+            "buckets_us": {"queue_wait": 80.0, "manager": 10.0,
+                           "dma_in": 40.0, "compute": 60.0,
+                           "dma_out": 0.0, "dep_stall": 10.0,
+                           "total": 200.0},
+            "spans": [
+                {"kind": "request", "parent": -1, "label": "",
+                 "start_us": 100.0, "end_us": 300.0},
+                {"kind": "admission", "parent": 0, "label": "",
+                 "start_us": 100.0, "end_us": 110.0},
+                {"kind": "node", "parent": 0, "label": "canny.gauss",
+                 "start_us": 110.0, "end_us": 300.0},
+                {"kind": "queue_wait", "parent": 2, "label": "",
+                 "start_us": 110.0, "end_us": 190.0},
+                {"kind": "dispatch", "parent": 2, "label": "",
+                 "start_us": 190.0, "end_us": 200.0},
+                {"kind": "dma_in", "parent": 2, "label": "",
+                 "start_us": 200.0, "end_us": 240.0},
+                {"kind": "compute", "parent": 2, "label": "",
+                 "start_us": 240.0, "end_us": 300.0},
+                {"kind": "dma_out", "parent": 0,
+                 "label": "canny.gauss", "start_us": 250.0,
+                 "end_us": 300.0},
+            ],
+        },
+        {
+            # A sampled-in OK request, root-only for brevity.
+            "id": 1,
+            "class": "batch",
+            "app": "lstm",
+            "outcome": "ok",
+            "arrival_us": 120.0,
+            "finish_us": 180.0,
+            "deadline_us": 500.0,
+            "latency_us": 60.0,
+            "buckets_us": {"queue_wait": 10.0, "manager": 5.0,
+                           "dma_in": 15.0, "compute": 25.0,
+                           "dma_out": 0.0, "dep_stall": 5.0,
+                           "total": 60.0},
+            "spans": [{"kind": "request", "parent": -1, "label": "",
+                       "start_us": 120.0, "end_us": 180.0}],
+        },
+        {
+            # A shed request: root-only, finish == arrival.
+            "id": 2,
+            "class": "interactive",
+            "app": "gru",
+            "outcome": "shed",
+            "arrival_us": 130.0,
+            "finish_us": 130.0,
+            "deadline_us": 400.0,
+            "latency_us": 0.0,
+            "buckets_us": {bucket: 0.0 for bucket in BUCKETS},
+            "spans": [{"kind": "request", "parent": -1, "label": "",
+                       "start_us": 130.0, "end_us": 130.0}],
+        },
+        {
+            # A rejected request: root-only, finish == arrival.
+            "id": 3,
+            "class": "realtime",
+            "app": "deblur",
+            "outcome": "rejected",
+            "arrival_us": 140.0,
+            "finish_us": 140.0,
+            "deadline_us": 300.0,
+            "latency_us": 0.0,
+            "buckets_us": {bucket: 0.0 for bucket in BUCKETS},
+            "spans": [{"kind": "request", "parent": -1, "label": "",
+                       "start_us": 140.0, "end_us": 140.0}],
+        },
+    ],
 }
 
 
@@ -367,6 +699,42 @@ def self_test():
            "serve negative knee")
     expect(mutate(GOOD_SERVE, ["saturation"], Ellipsis), False,
            "serve missing saturation")
+    expect(mutate(GOOD_SERVE, ["runs", 0, "alerts"], Ellipsis), True,
+           "serve doc without alerts (pre-telemetry)")
+    expect(mutate(GOOD_SERVE, ["runs", 0, "alerts", 0, "active"], False),
+           False, "serve alert active inconsistent with opens/closes")
+    expect(mutate(GOOD_SERVE,
+                  ["runs", 0, "alerts", 0, "events", 0, "fast_burn"],
+                  -1.0),
+           False, "serve alert negative burn")
+
+    expect(GOOD_TRACE, True, "good trace doc")
+    expect(mutate(GOOD_TRACE, ["ok_fraction"], 1.5), False,
+           "trace ok_fraction outside [0, 1]")
+    expect(mutate(GOOD_TRACE, ["sampling", "dropped"], 7), False,
+           "trace sampling conservation violated")
+    expect(mutate(GOOD_TRACE, ["sampling", "kept_shed"], 2), False,
+           "trace offered conservation violated")
+    expect(mutate(GOOD_TRACE, ["requests", 1], Ellipsis), False,
+           "trace kept count mismatch")
+    expect(mutate(GOOD_TRACE, ["requests", 0, "outcome"], "late"),
+           False, "trace unknown outcome")
+    expect(mutate(GOOD_TRACE, ["requests", 0, "finish_us"], 50.0),
+           False, "trace finish before arrival")
+    expect(mutate(GOOD_TRACE, ["requests", 0, "spans", 0, "kind"],
+                  "node"),
+           False, "trace non-request root span")
+    expect(mutate(GOOD_TRACE, ["requests", 0, "spans", 3, "parent"], 5),
+           False, "trace forward parent reference")
+    expect(mutate(GOOD_TRACE,
+                  ["requests", 0, "spans", 3, "end_us"], 400.0),
+           False, "trace child escapes its parent window")
+    expect(mutate(GOOD_TRACE,
+                  ["requests", 0, "spans", 1, "end_us"], 290.0),
+           False, "trace synchronous children exceed root")
+    expect(mutate(GOOD_TRACE,
+                  ["requests", 0, "buckets_us", "compute"], Ellipsis),
+           False, "trace missing bucket")
 
     for failure in failures:
         print("self-test failure: %s" % failure, file=sys.stderr)
@@ -394,8 +762,10 @@ def main(argv):
         print("schema violation: %s" % error, file=sys.stderr)
     if errors:
         return 1
-    print("%s: schema-valid %s (%d runs)"
-          % (argv[1], doc["schema"], len(doc["runs"])))
+    records = doc.get("runs", doc.get("requests", []))
+    unit = "requests" if "requests" in doc else "runs"
+    print("%s: schema-valid %s (%d %s)"
+          % (argv[1], doc["schema"], len(records), unit))
     return 0
 
 

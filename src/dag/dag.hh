@@ -134,6 +134,15 @@ class Dag
     Tick finishTick() const { return finish_; }
     void setFinishTick(Tick tick) { finish_ = tick; }
 
+    /**
+     * Span-context id threaded through the hardware manager by the
+     * serving layer (trace/span.hh): identifies which request this
+     * DAG executes, so the attribution hook can finalize the request's
+     * span tree at completion. 0 = no tracing context.
+     */
+    std::uint64_t spanContext() const { return spanContext_; }
+    void setSpanContext(std::uint64_t context) { spanContext_ = context; }
+
   private:
     std::string name_;
     char symbol_;
@@ -146,6 +155,7 @@ class Dag
     Tick arrival_ = 0;
     Tick finish_ = 0;
     int numFinished_ = 0;
+    std::uint64_t spanContext_ = 0;
 };
 
 /** Shared ownership alias used by workloads (mixes reuse app DAGs). */

@@ -487,6 +487,10 @@ HardwareManager::handleNodeCompletion(AccState &state, Node *node,
                 attributed.buckets.compute, " + dma-out ",
                 attributed.buckets.dmaOut, " + stall ",
                 attributed.buckets.depStall);
+        // Span-tree assembly (serving layer) must see the record while
+        // its node pointers and the lifecycle stamps are still live.
+        if (onDagAttributed_)
+            onDagAttributed_(dag, attributed);
         // The resubmission path reuses the same Node objects, so keep
         // only labels/ticks alive past this point, not node pointers.
         attributed.path.clear();

@@ -94,6 +94,21 @@ class HardwareManager : public SimObject
         onDagComplete_ = std::move(handler);
     }
 
+    /**
+     * Register a callback fired when a DAG's execution has just been
+     * attributed by the critical-path analyzer, before the record's
+     * node pointers are dropped. The serving layer assembles request
+     * span trees here (trace/span.hh) — the record's `path` is still
+     * populated and the DAG's lifecycle stamps are intact. Fired
+     * before the completion handler.
+     */
+    using DagAttributionHandler =
+        std::function<void(Dag *, const DagLatencyRecord &)>;
+    void setDagAttributionHandler(DagAttributionHandler handler)
+    {
+        onDagAttributed_ = std::move(handler);
+    }
+
     Policy &policy() { return *policy_; }
     RuntimePredictor &predictor() { return *predictor_; }
 
@@ -202,6 +217,7 @@ class HardwareManager : public SimObject
     std::vector<DagLatencyRecord> latencyRecords_;
     Tick managerFreeAt_ = 0;
     std::function<void(Dag *)> onDagComplete_;
+    DagAttributionHandler onDagAttributed_;
     TraceRecorder *trace_ = nullptr;
 };
 

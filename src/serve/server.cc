@@ -1,9 +1,11 @@
 #include "serve/server.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/experiment.hh"
 #include "core/rng.hh"
+#include "dag/apps/apps.hh"
 #include "sim/logging.hh"
 #include "stats/json.hh"
 #include "stats/table.hh"
@@ -76,8 +78,61 @@ ServeDriver::ServeDriver(const ServeConfig &config) : config_(config)
         slo_[i].name = config_.classes[i].name;
     total_.name = "total";
 
+    perClassInSystem_.assign(config_.classes.size(), 0);
+
     soc_->manager().setDagCompletionHandler(
         [this](Dag *dag) { onComplete(dag); });
+
+    // Telemetry services re-arm only while real serving work remains
+    // (arrivals still scheduled or requests in flight). The default
+    // "events pending" liveness would deadlock the shutdown: any two
+    // periodic services would keep each other's wakeups alive forever.
+    const ServeTelemetryConfig &telemetry = config_.telemetry;
+    auto alive = [this] {
+        return arrivalsSeen_ < schedule_.size() || inSystem_ > 0;
+    };
+    if (telemetry.perfetto) {
+        soc_->enableTracing(telemetry.samplePeriod);
+        if (IntervalSampler *sampler = soc_->sampler()) {
+            sampler->setLiveness(alive);
+            sampler->addProbe("serve.in_flight",
+                              [this] { return double(inSystem_); });
+            for (std::size_t i = 0; i < config_.classes.size(); ++i) {
+                const std::string &name = config_.classes[i].name;
+                sampler->addProbe("serve." + name + ".in_system",
+                                  [this, i] {
+                                      return double(perClassInSystem_[i]);
+                                  });
+                sampler->addProbe("serve." + name + ".shed",
+                                  [this, i] {
+                                      return double(slo_[i].shed +
+                                                    slo_[i].rejected);
+                                  });
+            }
+        }
+    }
+    if (telemetry.traceRequests) {
+        TailSamplerConfig sc;
+        sc.okFraction = telemetry.okFraction;
+        sc.seed = deriveSeed(config_.seed, 1);
+        sampler_ = std::make_unique<TailSampler>(sc);
+        soc_->manager().setDagAttributionHandler(
+            [this](Dag *dag, const DagLatencyRecord &record) {
+                onAttributed(dag, record);
+            });
+    }
+    if (!telemetry.exposition.path.empty()) {
+        exposition_ = std::make_unique<StatExposition>(
+            soc_->sim(), soc_->stats(), telemetry.exposition);
+        exposition_->setLiveness(alive);
+    }
+    if (telemetry.alerts) {
+        alerts_ = std::make_unique<BurnRateAlerts>(
+            soc_->sim(), telemetry.burnRate, &slo_);
+        alerts_->setLiveness(alive);
+    }
+
+    // After the telemetry objects exist, so their stats register too.
     registerStats();
 }
 
@@ -128,11 +183,58 @@ ServeDriver::registerStats()
     add_class("serve", total_);
     for (std::size_t i = 0; i < slo_.size(); ++i)
         add_class("serve." + slo_[i].name, slo_[i]);
+
+    if (sampler_) {
+        const TailSampleSummary &s = sampler_->summary();
+        stats.addCounter("serve.trace.kept_ok",
+                         "sampled-in OK request traces",
+                         [&s] { return s.keptOk; });
+        stats.addCounter("serve.trace.kept_miss",
+                         "kept SLO-miss / in-flight traces",
+                         [&s] { return s.keptMiss; });
+        stats.addCounter("serve.trace.kept_shed", "kept shed traces",
+                         [&s] { return s.keptShed; });
+        stats.addCounter("serve.trace.kept_rejected",
+                         "kept rejected traces",
+                         [&s] { return s.keptRejected; });
+        stats.addCounter("serve.trace.dropped",
+                         "sampled-out OK request traces",
+                         [&s] { return s.dropped; });
+    }
+    if (alerts_) {
+        for (std::size_t i = 0; i < slo_.size(); ++i) {
+            const std::string prefix = "serve." + slo_[i].name;
+            stats.addCounter(prefix + ".alert_opens",
+                             "burn-rate alert openings",
+                             [a = alerts_.get(), i] {
+                                 return double(a->summary()[i].opens);
+                             });
+            stats.addCounter(prefix + ".alert_closes",
+                             "burn-rate alert closings",
+                             [a = alerts_.get(), i] {
+                                 return double(a->summary()[i].closes);
+                             });
+            stats.addScalar(prefix + ".alert_active",
+                            "burn-rate alert currently open",
+                            [a = alerts_.get(), i] {
+                                return a->summary()[i].active ? 1.0
+                                                              : 0.0;
+                            });
+        }
+    }
+    if (exposition_) {
+        stats.addCounter("serve.telemetry.snapshots",
+                         "exposition snapshots published",
+                         [e = exposition_.get()] {
+                             return double(e->numSnapshots());
+                         });
+    }
 }
 
 void
 ServeDriver::onArrival(std::size_t index)
 {
+    ++arrivalsSeen_;
     const ArrivalEvent &event = schedule_[index];
     const QosClassConfig &cls =
         config_.classes[std::size_t(event.qosClass)];
@@ -161,10 +263,12 @@ ServeDriver::onArrival(std::size_t index)
       case AdmissionVerdict::Shed:
         slo.shed += 1;
         total_.shed += 1;
+        recordDropTrace(request, RequestOutcome::Shed);
         return; // DAG is discarded
       case AdmissionVerdict::Rejected:
         slo.rejected += 1;
         total_.rejected += 1;
+        recordDropTrace(request, RequestOutcome::Rejected);
         return;
       case AdmissionVerdict::Admitted:
         break;
@@ -173,10 +277,71 @@ ServeDriver::onArrival(std::size_t index)
     slo.admitted += 1;
     total_.admitted += 1;
     inSystem_ += 1;
+    perClassInSystem_[std::size_t(event.qosClass)] += 1;
     backlog_ += dag->criticalPathRuntime();
+    // Span-context id 0 means "untraced"; request ids start at 0, so
+    // the context is the id shifted up by one.
+    dag->setSpanContext(std::uint64_t(index) + 1);
     dags_[index] = dag;
     byDag_[dag.get()] = index;
     soc_->manager().submitDag(dag.get(), soc_->sim().now());
+}
+
+/** Shed / rejected requests never execute: keep a root-only trace
+ *  (finish == arrival) when the sampler says so. */
+void
+ServeDriver::recordDropTrace(const ServeRequest &request,
+                             RequestOutcome outcome)
+{
+    if (!sampler_ || !sampler_->keep(request.id, outcome))
+        return;
+    // Context id + 1 even though no DAG ever carried it: every kept
+    // trace gets its own async track in the Perfetto export.
+    kept_.push_back(beginRequestTrace(
+        request.id, request.id + 1,
+        config_.classes[std::size_t(request.qosClass)].name,
+        appName(request.app), outcome, request.arrival, request.arrival,
+        request.absoluteDeadline()));
+}
+
+/**
+ * Attribution hook: the critical-path record still holds its node
+ * pointers, so this is the one moment the request's span tree can be
+ * assembled from lifecycle stamps. Runs before the completion
+ * handler.
+ */
+void
+ServeDriver::onAttributed(Dag *dag, const DagLatencyRecord &record)
+{
+    auto found = byDag_.find(dag);
+    RELIEF_ASSERT(found != byDag_.end(),
+                  "attribution for unknown request DAG ", dag->name());
+    const ServeRequest &request = requests_[found->second];
+    RequestOutcome outcome =
+        record.finish > request.absoluteDeadline() ? RequestOutcome::Miss
+                                                   : RequestOutcome::Ok;
+    if (!sampler_->keep(request.id, outcome))
+        return;
+
+    RequestTrace trace = beginRequestTrace(
+        request.id, dag->spanContext(),
+        config_.classes[std::size_t(request.qosClass)].name,
+        appName(request.app), outcome, request.arrival, record.finish,
+        request.absoluteDeadline());
+    trace.buckets.queueWait = record.buckets.queueWait;
+    trace.buckets.managerOverhead = record.buckets.managerOverhead;
+    trace.buckets.dmaIn = record.buckets.dmaIn;
+    trace.buckets.compute = record.buckets.compute;
+    trace.buckets.dmaOut = record.buckets.dmaOut;
+    trace.buckets.depStall = record.buckets.depStall;
+
+    // The analyzer's path is sink-first; span sources are root-first.
+    std::vector<SpanSource> path;
+    path.reserve(record.path.size());
+    for (auto it = record.path.rbegin(); it != record.path.rend(); ++it)
+        path.push_back({(*it)->label, (*it)->lifecycle});
+    addCriticalPathSpans(trace, path);
+    kept_.push_back(std::move(trace));
 }
 
 void
@@ -192,6 +357,7 @@ ServeDriver::onComplete(Dag *dag)
     request.finish = dag->finishTick();
 
     inSystem_ -= 1;
+    perClassInSystem_[std::size_t(request.qosClass)] -= 1;
     backlog_ -= dag->criticalPathRuntime();
 
     double latency_ms = toMs(request.finish - request.arrival);
@@ -215,6 +381,10 @@ ServeDriver::run()
         soc_->sim().at(schedule_[i].time,
                        [this, i] { onArrival(i); }, "serve.arrival");
     }
+    if (exposition_)
+        exposition_->start();
+    if (alerts_)
+        alerts_->start();
     soc_->run(config_.horizon);
 
     // Requests still executing at the horizon: counted as in-flight
@@ -231,6 +401,36 @@ ServeDriver::run()
             s->inFlight += 1;
             s->timeInSystemMs.sample(resident_ms);
         }
+        // In-flight requests never reach the attribution hook; keep a
+        // root-only trace truncated at the horizon (always kept:
+        // in-flight is anomalous).
+        if (sampler_ &&
+            sampler_->keep(request.id, RequestOutcome::InFlight)) {
+            kept_.push_back(beginRequestTrace(
+                request.id, request.id + 1,
+                config_.classes[std::size_t(request.qosClass)].name,
+                appName(request.app), RequestOutcome::InFlight,
+                request.arrival, config_.horizon,
+                request.absoluteDeadline()));
+        }
+    }
+
+    if (alerts_)
+        alerts_->finish(soc_->sim().now());
+    if (exposition_)
+        exposition_->snapshotNow();
+
+    if (sampler_) {
+        // Completion order already is deterministic, but id order makes
+        // the exported documents easy to diff and to validate.
+        std::sort(kept_.begin(), kept_.end(),
+                  [](const RequestTrace &a, const RequestTrace &b) {
+                      return a.id < b.id;
+                  });
+        if (TraceRecorder *trace = soc_->trace()) {
+            for (const RequestTrace &kept : kept_)
+                emitAsyncSlices(*trace, kept);
+        }
     }
 
     ServeReport report;
@@ -238,6 +438,12 @@ ServeDriver::run()
     report.classes = slo_;
     report.total = total_;
     report.soc = soc_->report();
+    if (sampler_)
+        report.sampling = sampler_->summary();
+    if (alerts_) {
+        report.alerts = alerts_->summary();
+        report.alertEvents = alerts_->events();
+    }
     return report;
 }
 
@@ -294,7 +500,9 @@ writeServeRunJson(std::ostream &os, const ServeReport &report,
         writeClassSloJson(os, slo, report.horizon, indent + 4);
         first = false;
     }
-    os << "\n" << pad << "  ]\n" << pad << "}";
+    os << "\n" << pad << "  ],\n" << pad << "  \"alerts\": ";
+    writeAlertsJson(os, report.alerts, report.alertEvents, indent + 2);
+    os << "\n" << pad << "}";
 }
 
 double

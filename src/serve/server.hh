@@ -40,12 +40,41 @@
 
 #include "core/soc.hh"
 #include "serve/admission.hh"
+#include "serve/alerts.hh"
 #include "serve/arrival.hh"
 #include "serve/request.hh"
 #include "serve/slo.hh"
+#include "trace/exposition.hh"
+#include "trace/sampler.hh"
+#include "trace/span.hh"
 
 namespace relief
 {
+
+/**
+ * Tracing / telemetry knobs for one serving run. All off by default:
+ * a plain ServeDriver adds nothing to the event hot path.
+ */
+struct ServeTelemetryConfig
+{
+    /** Assemble request span trees and tail-sample them
+     *  (trace/span.hh, trace/sampler.hh). */
+    bool traceRequests = false;
+    /** Tail-sampling keep fraction for OK traces (anomalous outcomes
+     *  are always kept). */
+    double okFraction = 0.0;
+    /** Record a Perfetto trace: serve counter tracks plus the kept
+     *  request span trees as async slices. */
+    bool perfetto = false;
+    /** Counter-track sampling cadence when perfetto is set. */
+    Tick samplePeriod = fromUs(10.0);
+    /** Periodic Prometheus text exposition; enabled when
+     *  exposition.path is non-empty (trace/exposition.hh). */
+    ExpositionConfig exposition;
+    /** Run the per-class SLO burn-rate evaluator (serve/alerts.hh). */
+    bool alerts = false;
+    BurnRateConfig burnRate;
+};
 
 /** Everything one serving run needs. */
 struct ServeConfig
@@ -55,6 +84,7 @@ struct ServeConfig
     std::vector<QosClassConfig> classes = defaultQosClasses();
     ArrivalConfig arrival;
     AdmissionConfig admission;
+    ServeTelemetryConfig telemetry;
     Tick horizon = continuousWindow; ///< Open-loop measurement window.
     std::uint64_t seed = 1;          ///< Master seed (arrival stream).
 };
@@ -66,6 +96,11 @@ struct ServeReport
     std::vector<ClassSlo> classes; ///< One entry per QoS class.
     ClassSlo total;                ///< All classes aggregated.
     MetricsReport soc;             ///< Underlying platform metrics.
+    /** Tail-sampling counters (all zero when tracing is off). */
+    TailSampleSummary sampling;
+    /** Burn-rate alert summaries + event log (empty when off). */
+    std::vector<ClassAlertSummary> alerts;
+    std::vector<AlertEvent> alertEvents;
 };
 
 class ServeDriver
@@ -85,10 +120,23 @@ class ServeDriver
     /** Per-request records, in arrival order (valid after run()). */
     const std::vector<ServeRequest> &requests() const { return requests_; }
 
+    /** Kept request traces, sorted by id (valid after run(); empty
+     *  unless telemetry.traceRequests). */
+    const std::vector<RequestTrace> &keptTraces() const { return kept_; }
+    /** The tail sampler, or nullptr when tracing is off. */
+    const TailSampler *tailSampler() const { return sampler_.get(); }
+    /** The exposition writer, or nullptr when disabled. */
+    StatExposition *exposition() { return exposition_.get(); }
+    /** The burn-rate evaluator, or nullptr when disabled. */
+    BurnRateAlerts *alerts() { return alerts_.get(); }
+
   private:
     void registerStats();
     void onArrival(std::size_t index);
     void onComplete(Dag *dag);
+    void onAttributed(Dag *dag, const DagLatencyRecord &record);
+    void recordDropTrace(const ServeRequest &request,
+                         RequestOutcome outcome);
 
     ServeConfig config_;
     std::unique_ptr<Soc> soc_;
@@ -99,6 +147,12 @@ class ServeDriver
     std::unordered_map<const Dag *, std::size_t> byDag_;
     std::vector<ClassSlo> slo_;
     ClassSlo total_;
+    std::unique_ptr<TailSampler> sampler_;
+    std::vector<RequestTrace> kept_;
+    std::unique_ptr<BurnRateAlerts> alerts_;
+    std::unique_ptr<StatExposition> exposition_;
+    std::vector<int> perClassInSystem_;
+    std::size_t arrivalsSeen_ = 0;
     int parallelism_ = 1;
     int inSystem_ = 0;
     Tick backlog_ = 0;

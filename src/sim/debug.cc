@@ -30,6 +30,8 @@ debugFlagName(DebugFlag flag)
         return "Stats";
       case DebugFlag::Event:
         return "Event";
+      case DebugFlag::Serve:
+        return "Serve";
     }
     return "?";
 }
@@ -38,8 +40,9 @@ const std::vector<DebugFlag> &
 allDebugFlags()
 {
     static const std::vector<DebugFlag> flags = {
-        DebugFlag::Sched, DebugFlag::Dma, DebugFlag::Mem,
+        DebugFlag::Sched, DebugFlag::Dma,   DebugFlag::Mem,
         DebugFlag::Fabric, DebugFlag::Stats, DebugFlag::Event,
+        DebugFlag::Serve,
     };
     return flags;
 }

@@ -40,10 +40,11 @@ enum class DebugFlag : std::size_t
     Fabric, ///< Interconnect reservations.
     Stats,  ///< Stat registry registration and dumps.
     Event,  ///< Event queue: per-event firing trace + dynamic labels.
+    Serve,  ///< Serving layer: admissions, kept traces, SLO alerts.
 };
 
 /** Number of debug flags (array sizing). */
-constexpr std::size_t numDebugFlags = 6;
+constexpr std::size_t numDebugFlags = 7;
 
 /** Printable name of @p flag ("Sched", "Dma", ...). */
 const char *debugFlagName(DebugFlag flag);

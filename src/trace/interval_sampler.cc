@@ -24,6 +24,12 @@ IntervalSampler::addProbe(const std::string &track_name, Probe probe)
 }
 
 void
+IntervalSampler::setLiveness(std::function<bool()> alive)
+{
+    alive_ = std::move(alive);
+}
+
+void
 IntervalSampler::start()
 {
     if (pending_.pending())
@@ -44,7 +50,8 @@ IntervalSampler::sampleOnce()
         trace_.counter(track, now(), probe());
     // Re-arm only while the model still has work in flight; otherwise
     // the sampler would keep an idle event queue spinning forever.
-    if (!sim().events().empty())
+    bool alive = alive_ ? alive_() : !sim().events().empty();
+    if (alive)
         pending_ = sim().after(period_, [this] { sampleOnce(); },
                                "sampler.tick");
 }

@@ -44,6 +44,16 @@ class IntervalSampler : public SimObject
     /** Register @p probe under the counter track @p track_name. */
     void addProbe(const std::string &track_name, Probe probe);
 
+    /**
+     * Re-arm while @p alive returns true instead of the default
+     * "events pending" check. The serving driver keys every periodic
+     * service (sampler, exposition, alerts) on real work — arrivals
+     * pending or requests in flight — because two periodic services
+     * using the queue-occupancy default would keep each other alive
+     * forever.
+     */
+    void setLiveness(std::function<bool()> alive);
+
     std::size_t numProbes() const { return probes_.size(); }
     Tick period() const { return period_; }
 
@@ -59,6 +69,7 @@ class IntervalSampler : public SimObject
     TraceRecorder &trace_;
     Tick period_;
     std::vector<std::pair<int, Probe>> probes_;
+    std::function<bool()> alive_;
     EventHandle pending_;
 };
 

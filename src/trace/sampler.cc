@@ -1,0 +1,84 @@
+#include "trace/sampler.hh"
+
+#include "core/rng.hh"
+#include "sim/logging.hh"
+#include "stats/json.hh"
+
+namespace relief
+{
+
+TailSampler::TailSampler(const TailSamplerConfig &config)
+    : config_(config)
+{
+    RELIEF_ASSERT(config_.okFraction >= 0.0 && config_.okFraction <= 1.0,
+                  "OK-trace sampling fraction must be in [0, 1], got ",
+                  config_.okFraction);
+}
+
+bool
+TailSampler::sampled(std::uint64_t seed, std::uint64_t id,
+                     double fraction)
+{
+    if (fraction >= 1.0)
+        return true;
+    // 53-bit uniform in [0, 1), same construction as Xoshiro::uniform.
+    double u = double(deriveSeed(seed, id) >> 11) * 0x1.0p-53;
+    return u < fraction;
+}
+
+bool
+TailSampler::keep(std::uint64_t id, RequestOutcome outcome)
+{
+    summary_.offered += 1;
+    switch (outcome) {
+      case RequestOutcome::Shed:
+        summary_.keptShed += 1;
+        return true;
+      case RequestOutcome::Rejected:
+        summary_.keptRejected += 1;
+        return true;
+      case RequestOutcome::Miss:
+      case RequestOutcome::InFlight:
+        summary_.admitted += 1;
+        summary_.keptMiss += 1;
+        return true;
+      case RequestOutcome::Ok:
+        break;
+    }
+    summary_.admitted += 1;
+    if (sampled(config_.seed, id, config_.okFraction)) {
+        summary_.keptOk += 1;
+        return true;
+    }
+    summary_.dropped += 1;
+    return false;
+}
+
+void
+writeTraceDocJson(std::ostream &os,
+                  const std::vector<RequestTrace> &traces,
+                  const TailSampleSummary &sampling, double ok_fraction,
+                  std::uint64_t seed, double horizon_ms)
+{
+    os << "{\n  \"schema\": \"relief-trace-v1\",\n"
+       << "  \"seed\": " << seed << ",\n"
+       << "  \"horizon_ms\": " << jsonNumber(horizon_ms) << ",\n"
+       << "  \"ok_fraction\": " << jsonNumber(ok_fraction) << ",\n"
+       << "  \"sampling\": {\"offered\": " << sampling.offered
+       << ", \"admitted\": " << sampling.admitted
+       << ", \"kept_ok\": " << sampling.keptOk
+       << ", \"kept_miss\": " << sampling.keptMiss
+       << ", \"kept_shed\": " << sampling.keptShed
+       << ", \"kept_rejected\": " << sampling.keptRejected
+       << ", \"dropped\": " << sampling.dropped << "},\n"
+       << "  \"requests\": [";
+    bool first = true;
+    for (const RequestTrace &trace : traces) {
+        os << (first ? "\n    " : ",\n    ");
+        writeRequestTraceJson(os, trace, 4);
+        first = false;
+    }
+    os << "\n  ]\n}\n";
+}
+
+} // namespace relief

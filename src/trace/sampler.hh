@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tail-based sampling of request traces.
+ *
+ * Production tracing systems cannot keep every trace, but the boring
+ * ones are interchangeable and the anomalous ones are priceless —
+ * tail-based sampling decides *after* the outcome is known: keep 100%
+ * of SLO-miss / shed / rejected / still-in-flight requests, and a
+ * deterministic fraction of OK requests.
+ *
+ * The keep decision for OK traces is a pure function of
+ * (sampler seed, request id) through core/rng.hh deriveSeed — never of
+ * completion order or worker count — so a serving run keeps a
+ * bit-identical trace set across `--jobs` values, the same contract
+ * the bench sweeps rely on.
+ *
+ * Counter conservation (validated by scripts/check_bench_schema.py on
+ * relief-trace-v1 documents):
+ *
+ *     kept_ok + kept_miss + dropped == admitted
+ *     admitted + kept_shed + kept_rejected == offered
+ *
+ * where kept_miss counts every kept *anomalous admitted* request
+ * (deadline misses and requests still in flight at the horizon).
+ */
+
+#ifndef RELIEF_TRACE_SAMPLER_HH
+#define RELIEF_TRACE_SAMPLER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "trace/span.hh"
+
+namespace relief
+{
+
+struct TailSamplerConfig
+{
+    /** Fraction of OK traces kept, in [0, 1]. */
+    double okFraction = 0.0;
+    /** Seed of the keep-decision stream (derive from the run seed). */
+    std::uint64_t seed = 1;
+};
+
+/** Keep counters of one run (all relief-trace-v1 "sampling" fields). */
+struct TailSampleSummary
+{
+    std::uint64_t offered = 0;      ///< Requests presented.
+    std::uint64_t admitted = 0;     ///< Admitted (ok/miss/in-flight).
+    std::uint64_t keptOk = 0;       ///< Sampled-in OK traces.
+    std::uint64_t keptMiss = 0;     ///< Kept misses + in-flight.
+    std::uint64_t keptShed = 0;     ///< Kept shed traces (100%).
+    std::uint64_t keptRejected = 0; ///< Kept rejected traces (100%).
+    std::uint64_t dropped = 0;      ///< Sampled-out OK traces.
+
+    std::uint64_t
+    kept() const
+    {
+        return keptOk + keptMiss + keptShed + keptRejected;
+    }
+};
+
+class TailSampler
+{
+  public:
+    explicit TailSampler(const TailSamplerConfig &config);
+
+    /**
+     * Decide whether request @p id with @p outcome is kept, updating
+     * the counters. Anomalous outcomes are always kept; Ok is kept
+     * when sampled(seed, id, okFraction). Call exactly once per
+     * request.
+     */
+    bool keep(std::uint64_t id, RequestOutcome outcome);
+
+    /**
+     * The deterministic OK-keep decision: derive a per-request uniform
+     * variate from (seed, id) and compare against @p fraction. Pure
+     * function — independent of call order and worker count.
+     */
+    static bool sampled(std::uint64_t seed, std::uint64_t id,
+                        double fraction);
+
+    double okFraction() const { return config_.okFraction; }
+    const TailSampleSummary &summary() const { return summary_; }
+
+  private:
+    TailSamplerConfig config_;
+    TailSampleSummary summary_;
+};
+
+/**
+ * Write a complete relief-trace-v1 document: run identity, the
+ * sampling counters, and one record per kept request (sorted by id by
+ * the caller for stable output).
+ */
+void writeTraceDocJson(std::ostream &os,
+                       const std::vector<RequestTrace> &traces,
+                       const TailSampleSummary &sampling,
+                       double ok_fraction, std::uint64_t seed,
+                       double horizon_ms);
+
+} // namespace relief
+
+#endif // RELIEF_TRACE_SAMPLER_HH

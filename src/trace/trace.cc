@@ -108,6 +108,19 @@ TraceRecorder::flow(std::string name, std::string category, int src_lane,
     return flows_.back().id;
 }
 
+void
+TraceRecorder::asyncEvent(std::uint64_t id, std::string name,
+                          std::string category, Tick ts, bool begin)
+{
+    AsyncEvent e;
+    e.id = id;
+    e.name = std::move(name);
+    e.category = std::move(category);
+    e.ts = ts;
+    e.begin = begin;
+    asyncEvents_.push_back(std::move(e));
+}
+
 Tick
 TraceRecorder::horizon() const
 {
@@ -121,6 +134,8 @@ TraceRecorder::horizon() const
         h = std::max(h, s.when);
     for (const TraceFlow &f : flows_)
         h = std::max(h, f.dstTime);
+    for (const AsyncEvent &e : asyncEvents_)
+        h = std::max(h, e.ts);
     return h;
 }
 
@@ -134,12 +149,13 @@ TraceRecorder::writeChromeJson(std::ostream &os) const
     struct Ref
     {
         Tick ts;
-        int kind; ///< 0 span, 1 counter, 2 flow.
+        int kind; ///< 0 span, 1 counter, 2 flow, 3 async half.
         int half; ///< Flows: 0 = "s", 1 = "f".
         std::size_t index;
     };
     std::vector<Ref> refs;
-    refs.reserve(spans_.size() + samples_.size() + 2 * flows_.size());
+    refs.reserve(spans_.size() + samples_.size() + 2 * flows_.size() +
+                 asyncEvents_.size());
     for (std::size_t i = 0; i < spans_.size(); ++i)
         refs.push_back({spans_[i].start, 0, 0, i});
     for (std::size_t i = 0; i < samples_.size(); ++i)
@@ -148,9 +164,12 @@ TraceRecorder::writeChromeJson(std::ostream &os) const
         refs.push_back({flows_[i].srcTime, 2, 0, i});
         refs.push_back({flows_[i].dstTime, 2, 1, i});
     }
+    for (std::size_t i = 0; i < asyncEvents_.size(); ++i)
+        refs.push_back({asyncEvents_[i].ts, 3, 0, i});
     // Stability keeps a zero-length flow's "s" (inserted first) ahead
     // of its "f" at equal timestamps, which chrome://tracing requires
-    // to bind the arrow.
+    // to bind the arrow — and keeps async halves in the properly
+    // nested order their emitter appended them in.
     std::stable_sort(refs.begin(), refs.end(),
                      [](const Ref &a, const Ref &b) {
                          return a.ts < b.ts;
@@ -210,6 +229,17 @@ TraceRecorder::writeChromeJson(std::ostream &os) const
             }
             break;
           }
+          case 3: {
+            // Async ("b"/"e") halves; Perfetto groups them into one
+            // async track per (cat, id) and nests by emit order.
+            const AsyncEvent &e = asyncEvents_[ref.index];
+            os << "  {\"name\":\"" << jsonEscape(e.name)
+               << "\",\"cat\":\"" << jsonEscape(e.category)
+               << "\",\"ph\":\"" << (e.begin ? 'b' : 'e')
+               << "\",\"id\":" << e.id << ",\"ts\":" << toUs(e.ts)
+               << ",\"pid\":1,\"tid\":0}";
+            break;
+          }
         }
     }
     os << "\n]\n";
@@ -261,6 +291,7 @@ TraceRecorder::clear()
     spans_.clear();
     samples_.clear();
     flows_.clear();
+    asyncEvents_.clear();
 }
 
 } // namespace relief

@@ -28,6 +28,7 @@
 #ifndef RELIEF_TRACE_TRACE_HH
 #define RELIEF_TRACE_TRACE_HH
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <unordered_map>
@@ -54,6 +55,21 @@ struct CounterSample
     int track = 0;
     Tick when = 0;
     double value = 0.0;
+};
+
+/**
+ * One half of a Perfetto async slice ("b" begin / "e" end). Async
+ * events with the same (category, id) share one async track; Perfetto
+ * nests them by begin/end order, so emitters must append the halves
+ * in properly nested sequence (see trace/span.cc emitAsyncSlices).
+ */
+struct AsyncEvent
+{
+    std::uint64_t id = 0; ///< Async-track id (span-context derived).
+    std::string name;
+    std::string category;
+    Tick ts = 0;
+    bool begin = true; ///< true = "b", false = "e".
 };
 
 /** One directed arrow between two lane/time points (a DAG edge). */
@@ -114,16 +130,34 @@ class TraceRecorder
     std::size_t numFlows() const { return flows_.size(); }
     const std::vector<TraceFlow> &flows() const { return flows_; }
 
-    /** Latest time across all spans, counter samples, and flows. */
+    /**
+     * Append one async ("b"/"e") event half on async track @p id.
+     * Halves are rendered in insertion order at equal timestamps, so
+     * the caller controls nesting by appending a properly nested
+     * sequence (begin parent, begin child, end child, end parent).
+     */
+    void asyncEvent(std::uint64_t id, std::string name,
+                    std::string category, Tick ts, bool begin);
+
+    std::size_t numAsyncEvents() const { return asyncEvents_.size(); }
+    const std::vector<AsyncEvent> &asyncEvents() const
+    {
+        return asyncEvents_;
+    }
+
+    /** Latest time across all spans, counter samples, flows, and
+     *  async events. */
     Tick horizon() const;
 
     /**
      * Chrome trace-event JSON: lane metadata first, then every event —
-     * complete ("X") spans, counter ("C") samples, and flow ("s"/"f")
-     * pairs — sorted by timestamp. Perfetto tolerates unsorted input,
-     * but chrome://tracing misrenders flows whose "s" half appears
-     * after its "f" half, so the sort (stable, "s" before "f" at equal
-     * timestamps) is a documented guarantee of this writer.
+     * complete ("X") spans, counter ("C") samples, flow ("s"/"f")
+     * pairs, and async ("b"/"e") halves — sorted by timestamp.
+     * Perfetto tolerates unsorted input, but chrome://tracing
+     * misrenders flows whose "s" half appears after its "f" half, so
+     * the sort (stable, "s" before "f" and async halves in insertion
+     * order at equal timestamps) is a documented guarantee of this
+     * writer.
      */
     void writeChromeJson(std::ostream &os) const;
 
@@ -145,6 +179,7 @@ class TraceRecorder
     std::unordered_map<std::string, int> trackIds_;
     std::vector<CounterSample> samples_;
     std::vector<TraceFlow> flows_;
+    std::vector<AsyncEvent> asyncEvents_;
     int nextFlowId_ = 1;
 };
 

@@ -8,10 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <set>
 #include <sstream>
+#include <vector>
 
+#include "core/parallel.hh"
 #include "serve/server.hh"
 #include "sim/logging.hh"
+#include "trace/sampler.hh"
 
 namespace relief
 {
@@ -177,6 +183,127 @@ TEST(ServeDriverTest, RunIsSingleShot)
     ServeDriver driver(smallConfig());
     driver.run();
     EXPECT_THROW(driver.run(), PanicError);
+}
+
+/** Overloaded config that produces misses, sheds, and kept traces. */
+ServeConfig
+tracedConfig()
+{
+    ServeConfig config = smallConfig();
+    config.admission.kind = AdmissionKind::QueueCap;
+    config.admission.queueCap = 4;
+    for (QosClassConfig &cls : config.classes)
+        cls.deadlineScale = 0.05;
+    config.telemetry.traceRequests = true;
+    config.telemetry.okFraction = 0.25;
+    return config;
+}
+
+std::string
+traceJson(ServeDriver &driver, const ServeConfig &config)
+{
+    std::ostringstream out;
+    writeTraceDocJson(out, driver.keptTraces(),
+                      driver.tailSampler()->summary(),
+                      config.telemetry.okFraction, config.seed,
+                      toMs(config.horizon));
+    return out.str();
+}
+
+TEST(ServeDriverTest, TailSamplingKeepsEveryAnomalousRequest)
+{
+    ServeConfig config = tracedConfig();
+    ServeDriver driver(config);
+    ServeReport report = driver.run();
+
+    const TailSampleSummary &s = report.sampling;
+    EXPECT_EQ(s.offered, report.total.offered);
+    // Conservation: every request is counted exactly once.
+    EXPECT_EQ(s.keptOk + s.keptMiss + s.dropped, s.admitted);
+    EXPECT_EQ(s.admitted + s.keptShed + s.keptRejected, s.offered);
+    EXPECT_EQ(driver.keptTraces().size(), s.kept());
+    EXPECT_GT(s.keptMiss + s.keptShed, 0u);
+
+    // 100% tail coverage: every deadline-missing completion has a
+    // kept trace, whatever the OK sampling fraction.
+    std::set<std::uint64_t> kept_ids;
+    for (const RequestTrace &trace : driver.keptTraces()) {
+        kept_ids.insert(trace.id);
+        ASSERT_FALSE(trace.spans.empty());
+        EXPECT_EQ(trace.spans[0].kind, SpanKind::Request);
+        EXPECT_GE(trace.finish, trace.arrival);
+    }
+    for (const ServeRequest &request : driver.requests()) {
+        if (!request.finished ||
+            request.finish <= request.absoluteDeadline())
+            continue;
+        EXPECT_TRUE(kept_ids.count(request.id))
+            << "missed request " << request.id << " was dropped";
+    }
+}
+
+TEST(ServeDriverTest, TraceDocIsBitIdenticalAcrossWorkerCounts)
+{
+    // Four independent runs, serial vs. four workers: the exported
+    // relief-trace-v1 strings must match byte-for-byte (the sampler
+    // keep decision is a pure function of seed and request id).
+    constexpr std::size_t kRuns = 4;
+    std::vector<std::string> serial(kRuns), threaded(kRuns);
+    auto runPoint = [](std::size_t i) {
+        ServeConfig config = tracedConfig();
+        config.seed = 10 + std::uint64_t(i);
+        ServeDriver driver(config);
+        driver.run();
+        return traceJson(driver, config);
+    };
+    parallelFor(kRuns, 1, [&](std::size_t i) { serial[i] = runPoint(i); });
+    parallelFor(kRuns, 4,
+                [&](std::size_t i) { threaded[i] = runPoint(i); });
+    for (std::size_t i = 0; i < kRuns; ++i) {
+        EXPECT_EQ(serial[i], threaded[i]) << "run " << i;
+        EXPECT_NE(serial[i].find("\"relief-trace-v1\""),
+                  std::string::npos);
+    }
+}
+
+TEST(ServeDriverTest, RegistersTraceAndAlertStats)
+{
+    ServeConfig config = tracedConfig();
+    config.telemetry.alerts = true;
+    ServeDriver driver(config);
+    driver.run();
+    std::ostringstream out;
+    driver.soc().writeStatsJson(out);
+    std::string json = out.str();
+    for (const char *stat :
+         {"serve.trace.kept_ok", "serve.trace.kept_miss",
+          "serve.trace.kept_shed", "serve.trace.kept_rejected",
+          "serve.trace.dropped", "serve.realtime.alert_opens",
+          "serve.realtime.alert_active"})
+        EXPECT_NE(json.find(stat), std::string::npos) << stat;
+}
+
+TEST(ServeDriverTest, ExpositionPublishesPeriodicSnapshots)
+{
+    ServeConfig config = smallConfig();
+    config.telemetry.exposition.path =
+        ::testing::TempDir() + "relief_serve_expo_test.prom";
+    config.telemetry.exposition.period = fromMs(1.0);
+    std::remove(config.telemetry.exposition.path.c_str());
+
+    ServeDriver driver(config);
+    driver.run();
+    ASSERT_NE(driver.exposition(), nullptr);
+    // t=0, one per elapsed millisecond, plus the end-of-run snapshot.
+    EXPECT_GE(driver.exposition()->numSnapshots(), 2u);
+
+    // The scrape file exists and carries serve counters.
+    std::ifstream in(config.telemetry.exposition.path);
+    ASSERT_TRUE(bool(in));
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("relief_serve_offered"), std::string::npos);
+    std::remove(config.telemetry.exposition.path.c_str());
 }
 
 } // namespace

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tests for request span trees (trace/span.hh) and tail-based
+ * sampling (trace/sampler.hh): builder invariants (nesting, phase
+ * partition, root-sum), outcome classification, deterministic keep
+ * decisions, counter conservation, and the Perfetto async export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/sampler.hh"
+#include "trace/span.hh"
+#include "trace/trace.hh"
+
+using namespace relief;
+
+namespace
+{
+
+/** A two-node critical path with an async write-back on node one. */
+std::vector<SpanSource>
+makePath()
+{
+    NodeLifecycle first;
+    first.submitted = 100;
+    first.depsReady = 100;
+    first.queued = 120;
+    first.dispatched = 200;
+    first.loadStart = 210;
+    first.loadEnd = 260;
+    first.computeEnd = 400;
+    first.wbStart = 400;
+    first.wbEnd = 520;
+
+    NodeLifecycle second;
+    second.submitted = 100;
+    second.depsReady = 400;
+    second.queued = 420;
+    second.dispatched = 430;
+    second.loadStart = 440;
+    second.loadEnd = 500;
+    second.computeEnd = 900;
+
+    return {{"app.first", first}, {"app.second", second}};
+}
+
+RequestTrace
+makeTrace()
+{
+    RequestTrace trace =
+        beginRequestTrace(7, 8, "realtime", "canny",
+                          RequestOutcome::Miss, 100, 900, 800);
+    addCriticalPathSpans(trace, makePath());
+    return trace;
+}
+
+} // namespace
+
+TEST(SpanTest, RootOnlyTraceHasSingleRequestSpan)
+{
+    RequestTrace trace =
+        beginRequestTrace(3, 0, "batch", "lstm", RequestOutcome::Shed,
+                          50, 50, 450);
+    ASSERT_EQ(trace.spans.size(), 1u);
+    EXPECT_EQ(trace.spans[0].kind, SpanKind::Request);
+    EXPECT_EQ(trace.spans[0].parent, -1);
+    EXPECT_EQ(trace.spans[0].start, 50u);
+    EXPECT_EQ(trace.spans[0].end, 50u);
+    EXPECT_EQ(trace.latency(), 0u);
+}
+
+TEST(SpanTest, TreeShape)
+{
+    RequestTrace trace = makeTrace();
+    // Root + admission + 2 * (node + 4 phases) + 1 write-back.
+    ASSERT_EQ(trace.spans.size(), 13u);
+    EXPECT_EQ(trace.spans[0].kind, SpanKind::Request);
+    EXPECT_EQ(trace.spans[1].kind, SpanKind::Admission);
+    EXPECT_EQ(trace.spans[1].parent, 0);
+    // Admission covers arrival to the first node's queue entry.
+    EXPECT_EQ(trace.spans[1].start, 100u);
+    EXPECT_EQ(trace.spans[1].end, 120u);
+
+    int nodes = 0, writebacks = 0;
+    for (const RequestSpan &span : trace.spans) {
+        if (span.kind == SpanKind::Node) {
+            ++nodes;
+            EXPECT_EQ(span.parent, 0);
+            EXPECT_FALSE(span.label.empty());
+        }
+        if (span.kind == SpanKind::DmaOut) {
+            ++writebacks;
+            EXPECT_EQ(span.parent, 0);
+        }
+    }
+    EXPECT_EQ(nodes, 2);
+    EXPECT_EQ(writebacks, 1);
+}
+
+TEST(SpanTest, EverySpanNestsWithinItsParent)
+{
+    RequestTrace trace = makeTrace();
+    for (std::size_t i = 1; i < trace.spans.size(); ++i) {
+        const RequestSpan &span = trace.spans[i];
+        ASSERT_GE(span.parent, 0);
+        ASSERT_LT(std::size_t(span.parent), i);
+        const RequestSpan &parent = trace.spans[std::size_t(span.parent)];
+        EXPECT_GE(span.start, parent.start) << "span " << i;
+        EXPECT_LE(span.end, parent.end) << "span " << i;
+        EXPECT_LE(span.start, span.end) << "span " << i;
+    }
+}
+
+TEST(SpanTest, PhaseChildrenPartitionTheirNodeSpan)
+{
+    RequestTrace trace = makeTrace();
+    for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+        if (trace.spans[i].kind != SpanKind::Node)
+            continue;
+        Tick sum = 0;
+        Tick cursor = trace.spans[i].start;
+        for (const RequestSpan &child : trace.spans) {
+            if (child.parent != int(i))
+                continue;
+            // Phases are contiguous and in order.
+            EXPECT_EQ(child.start, cursor);
+            cursor = child.end;
+            sum += child.duration();
+        }
+        EXPECT_EQ(cursor, trace.spans[i].end);
+        EXPECT_EQ(sum, trace.spans[i].duration());
+    }
+}
+
+TEST(SpanTest, SynchronousChildrenSumAtMostRoot)
+{
+    RequestTrace trace = makeTrace();
+    Tick sum = 0;
+    for (const RequestSpan &span : trace.spans) {
+        if (span.parent == 0 && span.kind != SpanKind::DmaOut)
+            sum += span.duration();
+    }
+    EXPECT_LE(sum, trace.spans[0].duration());
+}
+
+TEST(SpanTest, WritebackClampedToRequestWindow)
+{
+    // Write-back past the request finish tick is clamped.
+    std::vector<SpanSource> path = makePath();
+    RequestTrace trace =
+        beginRequestTrace(1, 2, "realtime", "canny",
+                          RequestOutcome::Ok, 100, 450, 800);
+    path[1].lifecycle.computeEnd = 450;
+    path[1].lifecycle.loadEnd = 445;
+    addCriticalPathSpans(trace, path);
+    for (const RequestSpan &span : trace.spans) {
+        if (span.kind != SpanKind::DmaOut)
+            continue;
+        EXPECT_GE(span.start, trace.arrival);
+        EXPECT_LE(span.end, trace.finish);
+    }
+}
+
+TEST(SpanTest, OutcomeNamesAndAnomaly)
+{
+    EXPECT_STREQ(requestOutcomeName(RequestOutcome::Ok), "ok");
+    EXPECT_STREQ(requestOutcomeName(RequestOutcome::Miss), "miss");
+    EXPECT_STREQ(requestOutcomeName(RequestOutcome::Shed), "shed");
+    EXPECT_STREQ(requestOutcomeName(RequestOutcome::Rejected),
+                 "rejected");
+    EXPECT_STREQ(requestOutcomeName(RequestOutcome::InFlight),
+                 "in_flight");
+    EXPECT_FALSE(requestOutcomeAnomalous(RequestOutcome::Ok));
+    EXPECT_TRUE(requestOutcomeAnomalous(RequestOutcome::Miss));
+    EXPECT_TRUE(requestOutcomeAnomalous(RequestOutcome::Shed));
+    EXPECT_TRUE(requestOutcomeAnomalous(RequestOutcome::Rejected));
+    EXPECT_TRUE(requestOutcomeAnomalous(RequestOutcome::InFlight));
+}
+
+TEST(TailSamplerTest, FractionZeroKeepsOnlyAnomalous)
+{
+    TailSamplerConfig config;
+    config.okFraction = 0.0;
+    TailSampler sampler(config);
+    EXPECT_FALSE(sampler.keep(0, RequestOutcome::Ok));
+    EXPECT_TRUE(sampler.keep(1, RequestOutcome::Miss));
+    EXPECT_TRUE(sampler.keep(2, RequestOutcome::Shed));
+    EXPECT_TRUE(sampler.keep(3, RequestOutcome::Rejected));
+    EXPECT_TRUE(sampler.keep(4, RequestOutcome::InFlight));
+
+    const TailSampleSummary &s = sampler.summary();
+    EXPECT_EQ(s.offered, 5u);
+    EXPECT_EQ(s.admitted, 3u); // ok + miss + in-flight
+    EXPECT_EQ(s.keptOk, 0u);
+    EXPECT_EQ(s.keptMiss, 2u);
+    EXPECT_EQ(s.keptShed, 1u);
+    EXPECT_EQ(s.keptRejected, 1u);
+    EXPECT_EQ(s.dropped, 1u);
+    EXPECT_EQ(s.kept(), 4u);
+    // Conservation: the invariants the schema checker enforces.
+    EXPECT_EQ(s.keptOk + s.keptMiss + s.dropped, s.admitted);
+    EXPECT_EQ(s.admitted + s.keptShed + s.keptRejected, s.offered);
+}
+
+TEST(TailSamplerTest, FractionOneKeepsEverything)
+{
+    TailSamplerConfig config;
+    config.okFraction = 1.0;
+    TailSampler sampler(config);
+    for (std::uint64_t id = 0; id < 100; ++id)
+        EXPECT_TRUE(sampler.keep(id, RequestOutcome::Ok));
+    EXPECT_EQ(sampler.summary().keptOk, 100u);
+    EXPECT_EQ(sampler.summary().dropped, 0u);
+}
+
+TEST(TailSamplerTest, KeepDecisionIsPureAndOrderIndependent)
+{
+    // sampled() depends only on (seed, id, fraction) — never on call
+    // order, so trace sets are bit-identical across worker counts.
+    std::vector<bool> forward, backward;
+    for (std::uint64_t id = 0; id < 1000; ++id)
+        forward.push_back(TailSampler::sampled(42, id, 0.3));
+    for (std::uint64_t id = 1000; id-- > 0;)
+        backward.push_back(TailSampler::sampled(42, id, 0.3));
+    for (std::size_t i = 0; i < 1000; ++i)
+        EXPECT_EQ(forward[i], backward[999 - i]);
+
+    // The empirical keep rate lands near the fraction.
+    int kept = 0;
+    for (std::uint64_t id = 0; id < 10000; ++id)
+        kept += TailSampler::sampled(7, id, 0.25) ? 1 : 0;
+    EXPECT_NEAR(double(kept) / 10000.0, 0.25, 0.03);
+
+    // Different seeds give different (but still deterministic) sets.
+    bool differs = false;
+    for (std::uint64_t id = 0; id < 1000 && !differs; ++id)
+        differs = TailSampler::sampled(1, id, 0.5) !=
+                  TailSampler::sampled(2, id, 0.5);
+    EXPECT_TRUE(differs);
+}
+
+TEST(SpanTest, AsyncSlicesAreBalancedAndNested)
+{
+    RequestTrace trace = makeTrace();
+    TraceRecorder recorder;
+    emitAsyncSlices(recorder, trace);
+
+    // Write-backs land on their own async id so the synchronous tree
+    // stays properly nested.
+    std::size_t begins = 0, ends = 0;
+    std::set<std::uint64_t> ids;
+    for (const AsyncEvent &event : recorder.asyncEvents()) {
+        ids.insert(event.id);
+        EXPECT_EQ(event.category, "request");
+        (event.begin ? begins : ends) += 1;
+    }
+    EXPECT_EQ(begins, ends);
+    EXPECT_EQ(begins, trace.spans.size());
+    EXPECT_EQ(ids, (std::set<std::uint64_t>{2 * trace.context,
+                                            2 * trace.context + 1}));
+
+    // The emission order is a properly nested b/e sequence per id.
+    for (std::uint64_t id : ids) {
+        int depth = 0;
+        for (const AsyncEvent &event : recorder.asyncEvents()) {
+            if (event.id != id)
+                continue;
+            depth += event.begin ? 1 : -1;
+            EXPECT_GE(depth, 0);
+        }
+        EXPECT_EQ(depth, 0);
+    }
+
+    // And the Chrome JSON writer renders them as "b"/"e" halves.
+    std::ostringstream os;
+    recorder.writeChromeJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"request\""), std::string::npos);
+}
+
+TEST(SpanTest, TraceDocJsonRoundTrips)
+{
+    std::vector<RequestTrace> traces = {makeTrace()};
+    TailSamplerConfig config;
+    config.okFraction = 0.5;
+    TailSampler sampler(config);
+    sampler.keep(7, RequestOutcome::Miss);
+
+    std::ostringstream os;
+    writeTraceDocJson(os, traces, sampler.summary(), 0.5, 1, 20.0);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"schema\": \"relief-trace-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"outcome\": \"miss\""), std::string::npos);
+    EXPECT_NE(json.find("\"kept_miss\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"queue_wait\""), std::string::npos);
+}
