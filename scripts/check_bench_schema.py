@@ -10,6 +10,8 @@ the benches emit:
     documented in docs/serving.md
   - relief-trace-v1  (relief_serve --trace-json: tail-sampled request
     span trees) — documented in docs/serving.md
+  - relief-pressure-v1 (relief_sim --pressure-report: the memory-
+    pressure attribution ledger) — documented in docs/observability.md
 
 Dependency-free (Python standard library only) so CI and developers can
 run it anywhere:
@@ -272,6 +274,26 @@ def check_serve(doc):
         # absence so older documents stay valid.
         if "alerts" in run:
             check_alerts("%s.alerts" % where, run["alerts"], errors)
+        # "pressure" arrived with the attribution ledger; likewise
+        # optional for older documents.
+        if "pressure" in run:
+            pressure = run["pressure"]
+            if not isinstance(pressure, list) or not pressure:
+                err("%s.pressure: expected a non-empty array" % where)
+                continue
+            for j, entry in enumerate(pressure):
+                pwhere = "%s.pressure[%d]" % (where, j)
+                if not isinstance(entry, dict):
+                    err("%s: expected an object" % pwhere)
+                    continue
+                if not isinstance(entry.get("class"), str) \
+                        or not entry.get("class"):
+                    err("%s.class: expected a non-empty string" % pwhere)
+                check_pressure_slot(pwhere, entry, errors)
+            if pressure and isinstance(pressure[0], dict) \
+                    and pressure[0].get("class") != "default":
+                err("%s.pressure[0]: expected the ledger's implicit "
+                    "'default' class" % where)
 
     saturation = doc.get("saturation")
     if not isinstance(saturation, list):
@@ -447,10 +469,165 @@ def check_trace(doc):
     return errors
 
 
+TRAFFIC_TYPES = ("dram_fetch", "writeback", "forward", "spm_spill")
+
+SLOT_COUNTS = ("bytes", "transfers")
+
+SLOT_TIMES = ("service_us", "wait_suffered_us", "wait_caused_us")
+
+# Float slack for microsecond sums rounded independently on export.
+PRESSURE_TOLERANCE_US = 0.01
+
+
+def check_pressure_slot(where, slot, errors):
+    """Validate the accounting fields shared by qos rollups and
+    contender rows of a relief-pressure-v1 document."""
+
+    def err(msg):
+        errors.append(msg)
+
+    for field in SLOT_COUNTS:
+        if not is_count(slot.get(field)):
+            err("%s.%s: expected a non-negative integer, got %r"
+                % (where, field, slot.get(field)))
+    for field in SLOT_TIMES:
+        value = slot.get(field)
+        if not is_number(value) or value < 0:
+            err("%s.%s: expected a non-negative number, got %r"
+                % (where, field, value))
+
+
+def check_pressure(doc):
+    errors = []
+
+    def err(msg):
+        errors.append(msg)
+
+    end_us = doc.get("end_us")
+    if not is_number(end_us) or end_us < 0:
+        err("end_us: expected a non-negative number")
+
+    classes = doc.get("qos_classes")
+    if not isinstance(classes, list) or not classes \
+            or not all(isinstance(c, str) and c for c in classes):
+        err("qos_classes: expected a non-empty array of names")
+        classes = []
+    elif classes[0] != "default":
+        err("qos_classes[0]: expected the implicit 'default' class")
+
+    if tuple(doc.get("traffic", ())) != TRAFFIC_TYPES:
+        err("traffic: expected %s" % (list(TRAFFIC_TYPES),))
+
+    totals = doc.get("totals")
+    if not isinstance(totals, dict):
+        err("totals: expected an object")
+        totals = {}
+    for field in ("bytes", "transfers", "dram_bytes", "fabric_bytes",
+                  "bytes_spared_colocation", "bytes_spared_forwarding"):
+        if not is_count(totals.get(field)):
+            err("totals.%s: expected a non-negative integer, got %r"
+                % (field, totals.get(field)))
+    for field in ("service_us", "wait_us"):
+        value = totals.get(field)
+        if not is_number(value) or value < 0:
+            err("totals.%s: expected a non-negative number, got %r"
+                % (field, value))
+
+    qos = doc.get("qos")
+    if not isinstance(qos, list) or len(qos) != len(classes):
+        err("qos: expected one rollup per qos class")
+        qos = []
+    suffered = 0.0
+    caused = 0.0
+    for i, entry in enumerate(qos):
+        where = "qos[%d]" % i
+        if not isinstance(entry, dict):
+            err("%s: expected an object" % where)
+            continue
+        if entry.get("name") != classes[i]:
+            err("%s.name: %r does not match qos_classes[%d]"
+                % (where, entry.get("name"), i))
+        check_pressure_slot(where, entry, errors)
+        if is_number(entry.get("wait_suffered_us")):
+            suffered += entry["wait_suffered_us"]
+        if is_number(entry.get("wait_caused_us")):
+            caused += entry["wait_caused_us"]
+    # The attribution invariant: every microsecond of queueing delay
+    # suffered is charged to some contender, so the rollups balance.
+    if qos and abs(suffered - caused) > PRESSURE_TOLERANCE_US:
+        err("qos: wait_suffered_us and wait_caused_us do not balance "
+            "(%.3f vs %.3f)" % (suffered, caused))
+    if qos and is_number(totals.get("wait_us")) \
+            and abs(suffered - totals["wait_us"]) > PRESSURE_TOLERANCE_US:
+        err("qos: per-class wait does not sum to totals.wait_us")
+
+    resources = doc.get("resources")
+    if not isinstance(resources, list) or not resources:
+        err("resources: expected a non-empty array")
+        return errors
+    total_bytes = 0
+    for i, res in enumerate(resources):
+        where = "resources[%d]" % i
+        if not isinstance(res, dict):
+            err("%s: expected an object" % where)
+            continue
+        if not isinstance(res.get("name"), str) or not res.get("name"):
+            err("%s.name: expected a non-empty string" % where)
+        if not is_number(res.get("peak_gbs")) or res["peak_gbs"] <= 0:
+            err("%s.peak_gbs: expected a positive number" % where)
+        for field in ("bytes", "transfers"):
+            if not is_count(res.get(field)):
+                err("%s.%s: expected a non-negative integer, got %r"
+                    % (where, field, res.get(field)))
+        for field in ("service_us", "wait_us", "busy_us"):
+            value = res.get(field)
+            if not is_number(value) or value < 0:
+                err("%s.%s: expected a non-negative number, got %r"
+                    % (where, field, value))
+        occupancy = res.get("occupancy")
+        if not is_number(occupancy) or not 0.0 <= occupancy <= 1.0:
+            err("%s.occupancy: expected a number in [0, 1], got %r"
+                % (where, occupancy))
+        if is_count(res.get("bytes")):
+            total_bytes += res["bytes"]
+
+        contenders = res.get("contenders")
+        if not isinstance(contenders, list):
+            err("%s.contenders: expected an array" % where)
+            continue
+        contender_bytes = 0
+        for j, row in enumerate(contenders):
+            rwhere = "%s.contenders[%d]" % (where, j)
+            if not isinstance(row, dict):
+                err("%s: expected an object" % rwhere)
+                continue
+            if not isinstance(row.get("source"), str) \
+                    or not row.get("source"):
+                err("%s.source: expected a non-empty string" % rwhere)
+            if classes and row.get("qos") not in classes:
+                err("%s.qos: %r not in qos_classes"
+                    % (rwhere, row.get("qos")))
+            if row.get("traffic") not in TRAFFIC_TYPES + ("untagged",):
+                err("%s.traffic: %r not a traffic type"
+                    % (rwhere, row.get("traffic")))
+            check_pressure_slot(rwhere, row, errors)
+            if is_count(row.get("bytes")):
+                contender_bytes += row["bytes"]
+        # Contender tables are top-K truncated, so they bound the
+        # resource's counters from below but never exceed them.
+        if is_count(res.get("bytes")) and contender_bytes > res["bytes"]:
+            err("%s: contender bytes exceed the resource total" % where)
+    if is_count(totals.get("bytes")) and total_bytes != totals["bytes"]:
+        err("totals.bytes: %d does not equal the per-resource sum %d"
+            % (totals["bytes"], total_bytes))
+    return errors
+
+
 CHECKERS = {
     "relief-bench-v1": check_bench,
     "relief-serve-v1": check_serve,
     "relief-trace-v1": check_trace,
+    "relief-pressure-v1": check_pressure,
 }
 
 
@@ -520,6 +697,15 @@ GOOD_ALERTS = [{
     ],
 }]
 
+GOOD_SERVE_PRESSURE = [
+    {"class": "default", "bytes": 4096, "transfers": 2,
+     "service_us": 1.0, "wait_suffered_us": 0.5,
+     "wait_caused_us": 0.7},
+    {"class": "realtime", "bytes": 65536, "transfers": 10,
+     "service_us": 9.0, "wait_suffered_us": 2.5,
+     "wait_caused_us": 2.3},
+]
+
 GOOD_SERVE = {
     "schema": "relief-serve-v1",
     "seed": 1,
@@ -535,9 +721,72 @@ GOOD_SERVE = {
         "total": GOOD_SLO,
         "classes": [GOOD_SLO],
         "alerts": GOOD_ALERTS,
+        "pressure": GOOD_SERVE_PRESSURE,
     }],
     "saturation": [{"policy": "RELIEF", "knee_load": 1.2},
                    {"policy": "FCFS", "knee_load": None}],
+}
+
+GOOD_PRESSURE_SLOT = {
+    "bytes": 1024,
+    "transfers": 2,
+    "service_us": 1.5,
+    "wait_suffered_us": 2.0,
+    "wait_caused_us": 2.0,
+}
+
+GOOD_PRESSURE = {
+    "schema": "relief-pressure-v1",
+    "end_us": 1000.0,
+    "qos_classes": ["default", "realtime"],
+    "traffic": list(TRAFFIC_TYPES),
+    "totals": {
+        "bytes": 3072,
+        "transfers": 4,
+        "service_us": 3.0,
+        "wait_us": 2.0,
+        "dram_bytes": 2048,
+        "fabric_bytes": 1024,
+        "bytes_spared_colocation": 512,
+        "bytes_spared_forwarding": 256,
+    },
+    "qos": [
+        dict(GOOD_PRESSURE_SLOT, name="default"),
+        {"name": "realtime", "bytes": 2048, "transfers": 2,
+         "service_us": 1.5, "wait_suffered_us": 0.0,
+         "wait_caused_us": 0.0},
+    ],
+    "resources": [
+        {
+            "name": "soc.dram.channel",
+            "peak_gbs": 12.8,
+            "bytes": 2048,
+            "transfers": 3,
+            "service_us": 2.0,
+            "wait_us": 2.0,
+            "busy_us": 2.0,
+            "occupancy": 0.002,
+            "contenders": [
+                dict(GOOD_PRESSURE_SLOT, source="soc.elem-matrix0",
+                     qos="default", traffic="dram_fetch"),
+                {"source": "soc.conv0", "qos": "realtime",
+                 "traffic": "writeback", "bytes": 1024,
+                 "transfers": 1, "service_us": 0.5,
+                 "wait_suffered_us": 0.0, "wait_caused_us": 0.0},
+            ],
+        },
+        {
+            "name": "soc.bus.channel",
+            "peak_gbs": 32.0,
+            "bytes": 1024,
+            "transfers": 1,
+            "service_us": 1.0,
+            "wait_us": 0.0,
+            "busy_us": 1.0,
+            "occupancy": 0.001,
+            "contenders": [],
+        },
+    ],
 }
 
 GOOD_TRACE = {
@@ -708,6 +957,49 @@ def self_test():
                   -1.0),
            False, "serve alert negative burn")
 
+    expect(mutate(GOOD_SERVE, ["runs", 0, "pressure"], Ellipsis), True,
+           "serve doc without pressure (pre-ledger)")
+    expect(mutate(GOOD_SERVE, ["runs", 0, "pressure"], []), False,
+           "serve empty pressure array")
+    expect(mutate(GOOD_SERVE, ["runs", 0, "pressure", 0, "class"],
+                  "realtime"),
+           False, "serve pressure without the default class first")
+    expect(mutate(GOOD_SERVE,
+                  ["runs", 0, "pressure", 1, "wait_caused_us"], -1.0),
+           False, "serve pressure negative wait")
+
+    expect(GOOD_PRESSURE, True, "good pressure doc")
+    expect(mutate(GOOD_PRESSURE, ["end_us"], -1), False,
+           "pressure negative end_us")
+    expect(mutate(GOOD_PRESSURE, ["qos_classes"], ["realtime"]), False,
+           "pressure missing default class")
+    expect(mutate(GOOD_PRESSURE, ["traffic"], ["dram_fetch"]), False,
+           "pressure wrong traffic list")
+    expect(mutate(GOOD_PRESSURE, ["totals", "bytes"], 999), False,
+           "pressure totals do not match per-resource sum")
+    expect(mutate(GOOD_PRESSURE, ["qos", 1, "wait_caused_us"], 9.0),
+           False, "pressure suffered/caused books unbalanced")
+    expect(mutate(GOOD_PRESSURE, ["qos", 1, "name"], "batch"), False,
+           "pressure qos rollup name mismatch")
+    expect(mutate(GOOD_PRESSURE, ["resources"], []), False,
+           "pressure empty resources")
+    expect(mutate(GOOD_PRESSURE, ["resources", 0, "occupancy"], 1.5),
+           False, "pressure occupancy outside [0, 1]")
+    expect(mutate(GOOD_PRESSURE, ["resources", 0, "peak_gbs"], 0),
+           False, "pressure non-positive peak bandwidth")
+    expect(mutate(GOOD_PRESSURE,
+                  ["resources", 0, "contenders", 0, "qos"], "batch"),
+           False, "pressure contender with unknown qos class")
+    expect(mutate(GOOD_PRESSURE,
+                  ["resources", 0, "contenders", 0, "traffic"], "dma"),
+           False, "pressure contender with unknown traffic type")
+    expect(mutate(GOOD_PRESSURE,
+                  ["resources", 0, "contenders", 0, "bytes"], 999999),
+           False, "pressure contender bytes exceed the resource")
+    expect(mutate(GOOD_PRESSURE,
+                  ["resources", 0, "contenders", 1, "transfers"], -1),
+           False, "pressure negative transfer count")
+
     expect(GOOD_TRACE, True, "good trace doc")
     expect(mutate(GOOD_TRACE, ["ok_fraction"], 1.5), False,
            "trace ok_fraction outside [0, 1]")
@@ -762,10 +1054,11 @@ def main(argv):
         print("schema violation: %s" % error, file=sys.stderr)
     if errors:
         return 1
-    records = doc.get("runs", doc.get("requests", []))
-    unit = "requests" if "requests" in doc else "runs"
+    for unit in ("runs", "requests", "resources"):
+        if unit in doc:
+            break
     print("%s: schema-valid %s (%d %s)"
-          % (argv[1], doc["schema"], len(records), unit))
+          % (argv[1], doc["schema"], len(doc.get(unit, [])), unit))
     return 0
 
 

@@ -10,8 +10,10 @@
 # runs. --jobs N executes the matrix points on N worker threads
 # (results are identical for any N; see docs/performance.md). Outputs
 # land in out-dir (default bench-results/):
-#   BENCH_relief.json   relief-bench-v1 document (schema-checked)
-#   trace_CDL.json      Chrome/Perfetto trace of a CDL run
+#   BENCH_relief.json     relief-bench-v1 document (schema-checked)
+#   trace_CDL.json        Chrome/Perfetto trace of a CDL run
+#   PRESSURE_relief.json  relief-pressure-v1 attribution ledger dump
+#                         of the traced run (schema-checked)
 set -euo pipefail
 
 SMOKE=0
@@ -49,8 +51,16 @@ fi
 python3 "$SCRIPT_DIR/check_bench_schema.py" "$BENCH_JSON"
 
 # A representative trace for the artifact: CDL under RELIEF exercises
-# forwarding, so the flow arrows carry all three edge categories.
+# forwarding, so the flow arrows carry all three edge categories. The
+# same run dumps the memory-pressure attribution ledger, with the
+# per-bank utilization and queue-depth counter tracks in the trace.
 "$BUILD_DIR/tools/relief_sim" --mix CDL --policy RELIEF \
-    --trace "$OUT_DIR/trace_CDL.json" > "$OUT_DIR/trace_CDL.log"
+    --banked-memory --pressure-tracks \
+    --trace "$OUT_DIR/trace_CDL.json" \
+    --pressure-report "$OUT_DIR/PRESSURE_relief.json" \
+    > "$OUT_DIR/trace_CDL.log"
 
-echo "bench outputs in $OUT_DIR/ (BENCH_relief.json schema-valid)"
+python3 "$SCRIPT_DIR/check_bench_schema.py" "$OUT_DIR/PRESSURE_relief.json"
+
+echo "bench outputs in $OUT_DIR/ (BENCH_relief.json," \
+     "PRESSURE_relief.json schema-valid)"

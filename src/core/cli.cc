@@ -42,7 +42,7 @@ cliUsage()
            "[--no-feasibility] [--no-forwarding] [--stream-forwarding] "
            "[--dma-burst N] [--submit-latency-us X] [--functional] "
            "[--seed N] [--debug-flags LIST] [--stats-json FILE] "
-           "[--latency-breakdown] [--config FILE]";
+           "[--latency-breakdown] [--pressure-tracks] [--config FILE]";
 }
 
 namespace
@@ -222,6 +222,8 @@ parseCliOptions(const std::vector<std::string> &raw_args)
             ++i;
         } else if (arg == "--latency-breakdown") {
             config.latencyBreakdown = true;
+        } else if (arg == "--pressure-tracks") {
+            config.soc.pressureTracks = true;
         } else {
             fatal("unknown flag '", arg, "'\n", cliUsage());
         }

@@ -113,6 +113,25 @@ Soc::Soc(const SocConfig &config) : config_(config)
     manager_->setDagCompletionHandler(
         [this](Dag *dag) { onDagComplete(dag); });
 
+    // Pressure ledger: register every requestor and every bandwidth
+    // resource on the DMA/DRAM plane, then freeze the key space so the
+    // event hot path only bumps pre-sized slots.
+    ledger_ = std::make_unique<PressureLedger>();
+    for (const std::string &qos_name : config.qosClassNames)
+        ledger_->addQosClass(qos_name);
+    for (auto &acc : accs_)
+        acc->dma().setPressureSource(ledger_->addSource(acc->name()));
+    for (BandwidthResource *res : dram_->pressureResources())
+        ledger_->addResource(*res);
+    for (BandwidthResource *res : fabric_->resources())
+        ledger_->addResource(*res);
+    for (auto &acc : accs_) {
+        ledger_->addResource(acc->dma().readChannel());
+        ledger_->addResource(acc->dma().writeChannel());
+        ledger_->addResource(acc->spm().port());
+    }
+    ledger_->seal();
+
     registerStats();
 }
 
@@ -411,7 +430,33 @@ Soc::writeStatsJson(std::ostream &os) const
            << ", \"max_slowdown\": " << jsonNumber(app.maxSlowdown())
            << "}";
     }
-    os << "\n  ]\n}\n";
+    os << "\n  ],\n  \"pressure\": ";
+    ledger_->writeJson(os, endTick_, 8, pressureSummary(), nullptr);
+    os << "\n}\n";
+}
+
+PressureLedger::Summary
+Soc::pressureSummary() const
+{
+    PressureLedger::Summary summary;
+    summary.dramBytes = dram_->totalBytes();
+    summary.fabricBytes = fabric_->totalBytes();
+    // Colocated bytes never moved at all; forwarded bytes crossed the
+    // fabric instead of making a DRAM round trip.
+    summary.sparedColocationBytes = manager_->metrics().colocatedBytes;
+    for (const auto &acc : accs_) {
+        summary.sparedForwardBytes +=
+            acc->dma().bytesMoved(TrafficClass::SpmForward);
+    }
+    return summary;
+}
+
+void
+Soc::writePressureJson(std::ostream &os, int top_k) const
+{
+    ledger_->writeJson(os, endTick_, top_k, pressureSummary(),
+                       "relief-pressure-v1");
+    os << "\n";
 }
 
 TraceRecorder &
@@ -465,6 +510,35 @@ Soc::addSamplerProbes()
         Accelerator *acc = acc_ptr.get();
         sampler_->addProbe(acc->name() + ".occupancy",
                            [acc] { return acc->busy() ? 1.0 : 0.0; });
+    }
+
+    // Per-bank/per-channel pressure tracks, opt-in: when the gate is
+    // off no probe is registered, so disabled tracks cost nothing.
+    if (config_.pressureTracks) {
+        for (BandwidthResource *res : dram_->pressureResources()) {
+            // Same delta-bytes scheme as the aggregate DRAM probe:
+            // O(1) per sample regardless of run length.
+            auto last =
+                std::make_shared<std::pair<Tick, std::uint64_t>>(0, 0);
+            sampler_->addProbe(
+                res->name() + ".utilization", [this, res, last] {
+                    Tick t = sim_.now();
+                    std::uint64_t bytes = res->totalBytes();
+                    Tick dt = t - last->first;
+                    std::uint64_t db = bytes - last->second;
+                    *last = {t, bytes};
+                    if (dt == 0)
+                        return 0.0;
+                    double gbs = double(db) / (double(dt) * 1e-12) / 1e9;
+                    return std::min(1.0, gbs / res->bandwidth());
+                });
+            int id = res->ledgerId();
+            sampler_->addProbe(res->name() + ".queue_depth",
+                               [this, id] {
+                                   return double(ledger_->queueDepth(
+                                       id, sim_.now()));
+                               });
+        }
     }
 }
 

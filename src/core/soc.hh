@@ -32,6 +32,7 @@
 #include "manager/hardware_manager.hh"
 #include "mem/banked_memory.hh"
 #include "mem/main_memory.hh"
+#include "mem/pressure_ledger.hh"
 #include "sched/policy.hh"
 #include "sim/simulator.hh"
 #include "stats/registry.hh"
@@ -75,6 +76,20 @@ struct SocConfig
     /** Ablation: disable RELIEF's is_feasible() throttle (promotions
      *  become greedy). Only meaningful for the RELIEF-family. */
     bool reliefFeasibilityCheck = true;
+    /**
+     * QoS classes registered with the pressure ledger after the
+     * implicit class 0 ("default"). The serving layer fills this from
+     * its class table so per-class pressure rollups line up with the
+     * SLO report; batch runs leave it empty.
+     */
+    std::vector<std::string> qosClassNames;
+    /**
+     * Emit per-bank/per-channel utilization and queue-depth counter
+     * tracks through the IntervalSampler when tracing is enabled.
+     * Off by default: disabled tracks register no probes and cost
+     * nothing.
+     */
+    bool pressureTracks = false;
 };
 
 /** Per-application outcome across all of its submissions in a run. */
@@ -191,9 +206,24 @@ class Soc
     /**
      * Stable-schema JSON stats document ("relief-stats-v1"): the
      * registry's stats object plus an "apps" array of per-application
-     * outcomes. Written by `relief_sim --stats-json FILE`.
+     * outcomes and a "pressure" attribution block. Written by
+     * `relief_sim --stats-json FILE`.
      */
     void writeStatsJson(std::ostream &os) const;
+
+    /** The memory-pressure attribution ledger (always recording). */
+    PressureLedger &pressureLedger() { return *ledger_; }
+    const PressureLedger &pressureLedger() const { return *ledger_; }
+
+    /**
+     * Standalone "relief-pressure-v1" artifact: per-resource top-K
+     * contender tables, delay split, per-QoS rollups. Written by
+     * `relief_sim --pressure-report FILE`.
+     */
+    void writePressureJson(std::ostream &os, int top_k = 8) const;
+
+    /** Byte totals embedded in the pressure document. */
+    PressureLedger::Summary pressureSummary() const;
 
   private:
     void onDagComplete(Dag *dag);
@@ -207,6 +237,7 @@ class Soc
     PortId dramPort_ = -1;
     std::vector<std::unique_ptr<Accelerator>> accs_;
     std::unique_ptr<HardwareManager> manager_;
+    std::unique_ptr<PressureLedger> ledger_;
 
     struct Submission
     {

@@ -143,6 +143,15 @@ class Dag
     std::uint64_t spanContext() const { return spanContext_; }
     void setSpanContext(std::uint64_t context) { spanContext_ = context; }
 
+    /**
+     * QoS class this DAG's traffic is attributed to in the pressure
+     * ledger (mem/pressure_ledger.hh). Index into the ledger's class
+     * table; the serving layer sets it from the request's class,
+     * batch workloads leave the default class 0.
+     */
+    int qosClass() const { return qosClass_; }
+    void setQosClass(int qos_class) { qosClass_ = qos_class; }
+
   private:
     std::string name_;
     char symbol_;
@@ -156,6 +165,7 @@ class Dag
     Tick finish_ = 0;
     int numFinished_ = 0;
     std::uint64_t spanContext_ = 0;
+    int qosClass_ = 0;
 };
 
 /** Shared ownership alias used by workloads (mixes reuse app DAGs). */

@@ -35,15 +35,38 @@ DmaEngine::DmaEngine(Simulator &sim, std::string name, Interconnect &fabric,
 {
 }
 
+RequestorTag
+DmaEngine::makeTag(TrafficClass cls, const TransferCtx &ctx) const
+{
+    RequestorTag tag;
+    tag.source = std::int16_t(sourceId_);
+    tag.qosClass = ctx.qosClass;
+    tag.requestId = ctx.requestId;
+    switch (cls) {
+      case TrafficClass::DramRead:
+        tag.traffic = PressureTraffic::DramFetch;
+        break;
+      case TrafficClass::DramWrite:
+        tag.traffic = ctx.spill ? PressureTraffic::SpmSpill
+                                : PressureTraffic::Writeback;
+        break;
+      case TrafficClass::SpmForward:
+        tag.traffic = PressureTraffic::Forward;
+        break;
+    }
+    return tag;
+}
+
 Tick
 DmaEngine::launch(std::vector<BandwidthResource *> path,
-                  std::uint64_t bytes, TrafficClass cls, Callback on_done)
+                  std::uint64_t bytes, TrafficClass cls, Callback on_done,
+                  const RequestorTag &tag)
 {
     if (config_.burstBytes > 0 && bytes > config_.burstBytes) {
         return launchChunked(std::move(path), bytes, cls,
-                             std::move(on_done));
+                             std::move(on_done), tag);
     }
-    auto timing = reserveTransfer(path, now(), bytes);
+    auto timing = reserveTransfer(path, now(), bytes, tag);
     fabric_.recordTransfer(timing.start, timing.end, bytes);
     // Producer-side read energy of forwards is accounted by the
     // caller, which knows which scratchpad it pulled from.
@@ -65,7 +88,7 @@ DmaEngine::launch(std::vector<BandwidthResource *> path,
 Tick
 DmaEngine::launchChunked(std::vector<BandwidthResource *> path,
                          std::uint64_t bytes, TrafficClass cls,
-                         Callback on_done)
+                         Callback on_done, const RequestorTag &tag)
 {
     accountTraffic(bytes, cls);
     DPRINTF(Dma, trafficClassName(cls), " chunked launch ", bytes,
@@ -81,6 +104,7 @@ DmaEngine::launchChunked(std::vector<BandwidthResource *> path,
     state->path = std::move(path);
     state->remaining = bytes;
     state->onDone = std::move(on_done);
+    state->tag = tag;
     issueNextChunk(state);
 
     Tick optimistic = now();
@@ -110,6 +134,7 @@ DmaEngine::releaseChunk(ChunkState *state)
     state->path.clear(); // keeps capacity for the next transfer
     state->remaining = 0;
     state->onDone = nullptr;
+    state->tag = RequestorTag{};
     chunkFree_.push_back(state);
 }
 
@@ -118,7 +143,7 @@ DmaEngine::issueNextChunk(ChunkState *state)
 {
     std::uint64_t n = std::min(state->remaining, config_.burstBytes);
     state->remaining -= n;
-    auto timing = reserveTransfer(state->path, now(), n);
+    auto timing = reserveTransfer(state->path, now(), n, state->tag);
     fabric_.recordTransfer(timing.start, timing.end, n);
     sim().at(timing.end,
              [this, state, n]() {
@@ -161,7 +186,8 @@ DmaEngine::accountTraffic(std::uint64_t bytes, TrafficClass cls)
 
 Tick
 DmaEngine::readFromDram(std::uint64_t bytes, Callback on_done,
-                        std::uint64_t stream_hint)
+                        std::uint64_t stream_hint,
+                        const TransferCtx &ctx)
 {
     auto path = fabric_.path(dramPort_, port_);
     auto mem = dram_.path(stream_hint);
@@ -169,12 +195,13 @@ DmaEngine::readFromDram(std::uint64_t bytes, Callback on_done,
     path.insert(path.begin(), &readChannel_);
     path.push_back(&localSpm_.port());
     return launch(std::move(path), bytes, TrafficClass::DramRead,
-                  std::move(on_done));
+                  std::move(on_done),
+                  makeTag(TrafficClass::DramRead, ctx));
 }
 
 Tick
 DmaEngine::writeToDram(std::uint64_t bytes, Callback on_done,
-                       std::uint64_t stream_hint)
+                       std::uint64_t stream_hint, const TransferCtx &ctx)
 {
     auto path = fabric_.path(port_, dramPort_);
     path.insert(path.begin(), &localSpm_.port());
@@ -182,12 +209,14 @@ DmaEngine::writeToDram(std::uint64_t bytes, Callback on_done,
     auto mem = dram_.path(stream_hint);
     path.insert(path.end(), mem.begin(), mem.end());
     return launch(std::move(path), bytes, TrafficClass::DramWrite,
-                  std::move(on_done));
+                  std::move(on_done),
+                  makeTag(TrafficClass::DramWrite, ctx));
 }
 
 Tick
 DmaEngine::forwardFrom(Scratchpad &producer, PortId producer_port,
-                       std::uint64_t bytes, Callback on_done)
+                       std::uint64_t bytes, Callback on_done,
+                       const TransferCtx &ctx)
 {
     RELIEF_ASSERT(&producer != &localSpm_,
                   name(), ": use colocation, not forwarding, for the "
@@ -198,12 +227,14 @@ DmaEngine::forwardFrom(Scratchpad &producer, PortId producer_port,
     path.insert(path.begin(), &readChannel_);
     path.push_back(&localSpm_.port());
     return launch(std::move(path), bytes, TrafficClass::SpmForward,
-                  std::move(on_done));
+                  std::move(on_done),
+                  makeTag(TrafficClass::SpmForward, ctx));
 }
 
 Tick
 DmaEngine::streamFrom(Scratchpad &producer, PortId producer_port,
-                      std::uint64_t bytes, Callback on_done)
+                      std::uint64_t bytes, Callback on_done,
+                      const TransferCtx &ctx)
 {
     RELIEF_ASSERT(&producer != &localSpm_,
                   name(), ": streaming from the local scratchpad");
@@ -212,7 +243,8 @@ DmaEngine::streamFrom(Scratchpad &producer, PortId producer_port,
     forwardBytes_.add(bytes);
 
     auto path = fabric_.path(producer_port, port_);
-    auto timing = reserveTransfer(path, now(), bytes);
+    auto timing = reserveTransfer(path, now(), bytes,
+                                  makeTag(TrafficClass::SpmForward, ctx));
     timing.end += config_.streamSetupLatency;
     fabric_.recordTransfer(timing.start, timing.end, bytes);
     DPRINTF(Dma, "stream ", bytes, " bytes, done at ", timing.end);

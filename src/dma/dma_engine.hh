@@ -22,6 +22,7 @@
 #include "interconnect/interconnect.hh"
 #include "mem/bandwidth_resource.hh"
 #include "mem/main_memory.hh"
+#include "mem/pressure_ledger.hh"
 #include "mem/scratchpad.hh"
 #include "sim/simulator.hh"
 
@@ -55,6 +56,19 @@ struct DmaConfig
     std::uint64_t burstBytes = 0;
 };
 
+/**
+ * Attribution context of one transfer, threaded from the hardware
+ * manager down to the pressure ledger: which QoS class and request
+ * the moved bytes belong to, and whether a write-back is a forced
+ * spill (partition eviction) rather than the normal write-back rule.
+ */
+struct TransferCtx
+{
+    std::uint8_t qosClass = 0;
+    std::uint64_t requestId = 0;
+    bool spill = false;
+};
+
 class DmaEngine : public SimObject
 {
   public:
@@ -83,11 +97,13 @@ class DmaEngine : public SimObject
      * @return the reservation's end tick; @p on_done fires then.
      */
     Tick readFromDram(std::uint64_t bytes, Callback on_done,
-                      std::uint64_t stream_hint = 0);
+                      std::uint64_t stream_hint = 0,
+                      const TransferCtx &ctx = {});
 
     /** Local SPM -> DRAM write-back of @p bytes. */
     Tick writeToDram(std::uint64_t bytes, Callback on_done,
-                     std::uint64_t stream_hint = 0);
+                     std::uint64_t stream_hint = 0,
+                     const TransferCtx &ctx = {});
 
     /**
      * Producer SPM -> local SPM forward of @p bytes. The caller is
@@ -95,7 +111,8 @@ class DmaEngine : public SimObject
      * partition (beginRead before calling, endRead from @p on_done).
      */
     Tick forwardFrom(Scratchpad &producer, PortId producer_port,
-                     std::uint64_t bytes, Callback on_done);
+                     std::uint64_t bytes, Callback on_done,
+                     const TransferCtx &ctx = {});
 
     /**
      * AXI-stream-style forward: a dedicated producer/consumer FIFO
@@ -105,7 +122,20 @@ class DmaEngine : public SimObject
      * small per-stream setup cost. Accounting matches forwardFrom().
      */
     Tick streamFrom(Scratchpad &producer, PortId producer_port,
-                    std::uint64_t bytes, Callback on_done);
+                    std::uint64_t bytes, Callback on_done,
+                    const TransferCtx &ctx = {});
+
+    /**
+     * Pressure-ledger source id stamped on every transfer this engine
+     * launches (the owning accelerator's id); set by the Soc after
+     * construction, -1 (untagged) until then.
+     */
+    void setPressureSource(int source_id) { sourceId_ = source_id; }
+    int pressureSource() const { return sourceId_; }
+
+    /** The engine's own channels, for pressure-ledger registration. */
+    BandwidthResource &readChannel() { return readChannel_; }
+    BandwidthResource &writeChannel() { return writeChannel_; }
 
     /** Earliest tick the read channel can accept a new transfer. */
     Tick readChannelFree() const { return readChannel_.nextFree(); }
@@ -134,16 +164,21 @@ class DmaEngine : public SimObject
         std::vector<BandwidthResource *> path;
         std::uint64_t remaining = 0;
         Callback onDone;
+        RequestorTag tag;
     };
 
     ChunkState *acquireChunk();
     void releaseChunk(ChunkState *state);
 
+    /** Ledger tag for a transfer of class @p cls under @p ctx. */
+    RequestorTag makeTag(TrafficClass cls, const TransferCtx &ctx) const;
+
     Tick launch(std::vector<BandwidthResource *> path, std::uint64_t bytes,
-                TrafficClass cls, Callback on_done);
+                TrafficClass cls, Callback on_done,
+                const RequestorTag &tag);
     Tick launchChunked(std::vector<BandwidthResource *> path,
                        std::uint64_t bytes, TrafficClass cls,
-                       Callback on_done);
+                       Callback on_done, const RequestorTag &tag);
     void issueNextChunk(ChunkState *state);
     void accountTraffic(std::uint64_t bytes, TrafficClass cls);
 
@@ -159,6 +194,7 @@ class DmaEngine : public SimObject
     Counter dramWriteBytes_;
     Counter forwardBytes_;
     std::uint64_t outstanding_ = 0;
+    int sourceId_ = -1;
     std::vector<std::unique_ptr<ChunkState>> chunkPool_;
     std::vector<ChunkState *> chunkFree_;
 };

@@ -33,6 +33,10 @@ class Bus : public Interconnect
     PortId registerPort(const std::string &port_name) override;
     std::vector<BandwidthResource *> path(PortId src, PortId dst) override;
     int numPorts() const override { return int(portNames_.size()); }
+    std::vector<BandwidthResource *> resources() override
+    {
+        return {&channel_};
+    }
     void resetStats() override;
 
     const BandwidthResource &channel() const { return channel_; }

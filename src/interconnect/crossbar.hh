@@ -35,6 +35,15 @@ class Crossbar : public Interconnect
     PortId registerPort(const std::string &port_name) override;
     std::vector<BandwidthResource *> path(PortId src, PortId dst) override;
     int numPorts() const override { return int(ports_.size()); }
+    std::vector<BandwidthResource *> resources() override
+    {
+        std::vector<BandwidthResource *> all;
+        for (Port &port : ports_) {
+            all.push_back(port.egress.get());
+            all.push_back(port.ingress.get());
+        }
+        return all;
+    }
     void resetStats() override;
 
   private:

@@ -68,6 +68,13 @@ class Interconnect : public SimObject
     /** Number of registered ports. */
     virtual int numPorts() const = 0;
 
+    /**
+     * Every bandwidth resource this topology arbitrates (links, port
+     * egress/ingress pipes), for pressure-ledger registration. Order
+     * must be deterministic: topology construction order.
+     */
+    virtual std::vector<BandwidthResource *> resources() = 0;
+
   private:
     IntervalUnion busy_;
     Counter bytes_;

@@ -39,6 +39,15 @@ class Ring : public Interconnect
     PortId registerPort(const std::string &port_name) override;
     std::vector<BandwidthResource *> path(PortId src, PortId dst) override;
     int numPorts() const override { return int(links_.size()); }
+    std::vector<BandwidthResource *> resources() override
+    {
+        std::vector<BandwidthResource *> all;
+        for (Link &link : links_) {
+            all.push_back(link.clockwise.get());
+            all.push_back(link.counterClockwise.get());
+        }
+        return all;
+    }
     void resetStats() override;
 
     /** Hops a src -> dst transfer traverses (shorter direction). */

@@ -9,6 +9,27 @@
 namespace relief
 {
 
+namespace
+{
+
+/**
+ * Pressure-ledger attribution context of @p node's transfers: QoS
+ * class from the owning DAG, request id from the serving span context
+ * when present (batch runs fall back to the node id, debug only).
+ */
+TransferCtx
+transferCtx(const Node *node)
+{
+    TransferCtx ctx;
+    ctx.qosClass = std::uint8_t(node->dag->qosClass());
+    ctx.requestId = node->dag->spanContext()
+                        ? node->dag->spanContext()
+                        : std::uint64_t(node->id);
+    return ctx;
+}
+
+} // namespace
+
 HardwareManager::HardwareManager(Simulator &sim, std::string name,
                                  std::unique_ptr<Policy> policy,
                                  std::unique_ptr<RuntimePredictor> predictor,
@@ -280,7 +301,12 @@ HardwareManager::evictPartition(Accelerator &acc, int partition)
     // are written back immediately unless every child is next in
     // line.)
     const SpmPartition &p = acc.spm().partition(partition);
-    acc.dma().writeToDram(p.bytes, nullptr, p.owner);
+    // Forced spill: the owning node is long retired, so the transfer
+    // carries the spill traffic type and the default QoS class.
+    TransferCtx ctx;
+    ctx.requestId = std::uint64_t(p.owner);
+    ctx.spill = true;
+    acc.dma().writeToDram(p.bytes, nullptr, p.owner, ctx);
     acc.spm().markWrittenBack(partition);
 }
 
@@ -340,11 +366,11 @@ HardwareManager::issueInputs(AccState &state)
                 ForwardMechanism::StreamBuffer) {
                 state.acc->dma().streamFrom(
                     producer_spm, producer_acc->dma().port(), operand,
-                    std::move(done));
+                    std::move(done), transferCtx(node));
             } else {
                 state.acc->dma().forwardFrom(
                     producer_spm, producer_acc->dma().port(), operand,
-                    std::move(done));
+                    std::move(done), transferCtx(node));
             }
             continue;
         }
@@ -354,7 +380,8 @@ HardwareManager::issueInputs(AccState &state)
         traceEdgeFlow(state, node, i, InputSource::Dram);
         ++state.pendingInputs;
         Tick end = state.acc->dma().readFromDram(operand, on_input_done,
-                                                 parent->id);
+                                                 parent->id,
+                                                 transferCtx(node));
         if (end > now())
             predictor_->observeBandwidth(double(operand) /
                                          double(toNs(end - now())));
@@ -366,7 +393,8 @@ HardwareManager::issueInputs(AccState &state)
         // identity so the banked model spreads them across banks.
         std::uint64_t stream = node->id * 16 + std::uint64_t(e) + 1;
         Tick end = state.acc->dma().readFromDram(operand, on_input_done,
-                                                 stream);
+                                                 stream,
+                                                 transferCtx(node));
         if (end > now())
             predictor_->observeBandwidth(double(operand) /
                                          double(toNs(end - now())));
@@ -609,7 +637,8 @@ HardwareManager::handleWriteBack(AccState &state, Node *node,
 
     std::uint64_t bytes = node->outputSize();
     Tick issue = now();
-    Tick end = state.acc->dma().writeToDram(bytes, nullptr, node->id);
+    Tick end = state.acc->dma().writeToDram(bytes, nullptr, node->id,
+                                            transferCtx(node));
     node->actualMemTime += end - issue;
     node->lifecycle.wbStart = issue;
     node->lifecycle.wbEnd = end;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "mem/pressure_ledger.hh"
 #include "sim/logging.hh"
 
 namespace relief
@@ -26,12 +27,30 @@ BandwidthResource::holdTime(std::uint64_t bytes) const
 Tick
 BandwidthResource::claim(Tick earliest, std::uint64_t bytes)
 {
+    return claim(earliest, bytes, earliest, RequestorTag{});
+}
+
+Tick
+BandwidthResource::claim(Tick earliest, std::uint64_t bytes,
+                         Tick request_time, const RequestorTag &tag)
+{
+    // Queueing delay at *this* resource: how far its existing backlog
+    // alone pushes the claim past its request time. A chain's common
+    // start (earliest) can be later still — that wait belongs to the
+    // other resources in the path and is accounted there.
+    Tick pending = nextFree_ > request_time ? nextFree_ - request_time : 0;
+    waitTicks_ += pending;
+
     Tick start = std::max(earliest, nextFree_);
-    Tick end = start + holdTime(bytes);
+    Tick hold = holdTime(bytes);
+    Tick end = start + hold;
     nextFree_ = end;
     busy_.add(start, end);
     totalBytes_.add(bytes);
     numTransfers_.add(1);
+    if (ledger_)
+        ledger_->record(ledgerId_, tag, request_time, pending, start,
+                        hold, bytes);
     return start;
 }
 
@@ -48,12 +67,20 @@ BandwidthResource::resetStats()
 {
     totalBytes_.reset();
     numTransfers_.reset();
+    waitTicks_ = 0;
     busy_.clear();
 }
 
 TransferTiming
 reserveTransfer(const std::vector<BandwidthResource *> &path, Tick now,
                 std::uint64_t bytes)
+{
+    return reserveTransfer(path, now, bytes, RequestorTag{});
+}
+
+TransferTiming
+reserveTransfer(const std::vector<BandwidthResource *> &path, Tick now,
+                std::uint64_t bytes, const RequestorTag &tag)
 {
     RELIEF_ASSERT(!path.empty(), "transfer over an empty resource path");
 
@@ -66,9 +93,10 @@ reserveTransfer(const std::vector<BandwidthResource *> &path, Tick now,
         minBw = std::min(minBw, res->bandwidth());
     }
     // Claim each resource from the common start so FIFO order is
-    // preserved across the chain.
+    // preserved across the chain; each measures its own queueing
+    // contribution against the request time.
     for (auto *res : path)
-        res->claim(start, bytes);
+        res->claim(start, bytes, now, tag);
 
     TransferTiming timing;
     timing.start = start;

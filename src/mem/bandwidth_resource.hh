@@ -30,6 +30,9 @@
 namespace relief
 {
 
+class PressureLedger;
+struct RequestorTag;
+
 class BandwidthResource
 {
   public:
@@ -57,11 +60,40 @@ class BandwidthResource
      */
     Tick claim(Tick earliest, std::uint64_t bytes);
 
+    /**
+     * Tagged claim: same reservation mechanics, but the queueing
+     * delay is measured against @p request_time (when the transfer
+     * asked for the pipe, which reserveTransfer may have pushed past
+     * via other resources in the chain) and the attached pressure
+     * ledger attributes it to @p tag. The untagged claim() overload
+     * is claim(earliest, bytes, earliest, untagged).
+     */
+    Tick claim(Tick earliest, std::uint64_t bytes, Tick request_time,
+               const RequestorTag &tag);
+
     /** Total bytes that have crossed this resource. */
     std::uint64_t totalBytes() const { return totalBytes_.value(); }
 
     /** Number of reservations made. */
     std::uint64_t numTransfers() const { return numTransfers_.value(); }
+
+    /**
+     * Aggregate queueing delay suffered here: for each claim, how far
+     * the pipe's existing backlog pushed it past its request time.
+     * The pressure ledger's per-key waitSuffered sums to exactly this.
+     */
+    Tick waitTime() const { return waitTicks_; }
+
+    /** Hook this resource into @p ledger as resource @p resource_id. */
+    void
+    attachLedger(PressureLedger *ledger, int resource_id)
+    {
+        ledger_ = ledger;
+        ledgerId_ = resource_id;
+    }
+
+    PressureLedger *ledger() const { return ledger_; }
+    int ledgerId() const { return ledgerId_; }
 
     /** Time covered by at least one reservation, clipped to [0, upTo). */
     Tick busyTime(Tick upTo = maxTick) const { return busy_.covered(upTo); }
@@ -78,7 +110,10 @@ class BandwidthResource
     Tick nextFree_ = 0;
     Counter totalBytes_;
     Counter numTransfers_;
+    Tick waitTicks_ = 0;
     IntervalUnion busy_;
+    PressureLedger *ledger_ = nullptr;
+    int ledgerId_ = -1;
 };
 
 /**
@@ -98,6 +133,15 @@ struct TransferTiming
  */
 TransferTiming reserveTransfer(const std::vector<BandwidthResource *> &path,
                                Tick now, std::uint64_t bytes);
+
+/**
+ * Tagged variant: identical timing, but each resource in the chain
+ * measures the claim's queueing delay against @p now and attributes it
+ * to @p tag through its attached pressure ledger.
+ */
+TransferTiming reserveTransfer(const std::vector<BandwidthResource *> &path,
+                               Tick now, std::uint64_t bytes,
+                               const RequestorTag &tag);
 
 } // namespace relief
 

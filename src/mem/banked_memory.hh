@@ -48,8 +48,20 @@ class BankedMemory : public MainMemory
     std::vector<BandwidthResource *>
     path(std::uint64_t stream_hint) override;
 
+    std::vector<BandwidthResource *> pressureResources() override
+    {
+        std::vector<BandwidthResource *> all = {&channel()};
+        for (auto &bank : banks_)
+            all.push_back(bank.get());
+        return all;
+    }
+
     int numBanks() const { return int(banks_.size()); }
     const BandwidthResource &bank(int index) const
+    {
+        return *banks_[std::size_t(index)];
+    }
+    BandwidthResource &bank(int index)
     {
         return *banks_[std::size_t(index)];
     }

@@ -57,6 +57,17 @@ class MainMemory : public SimObject
         return {&channel_};
     }
 
+    /**
+     * Every bandwidth resource this memory arbitrates, for
+     * pressure-ledger registration (channel first, then banks in the
+     * banked model). Deterministic order.
+     */
+    virtual std::vector<BandwidthResource *>
+    pressureResources()
+    {
+        return {&channel_};
+    }
+
     /** Account a read of @p bytes leaving DRAM. */
     void recordRead(std::uint64_t bytes) { readBytes_.add(bytes); }
 

@@ -1,0 +1,381 @@
+#include "mem/pressure_ledger.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "mem/bandwidth_resource.hh"
+#include "sim/logging.hh"
+#include "stats/json.hh"
+
+namespace relief
+{
+
+namespace
+{
+
+/// Reservations a ring keeps room for before its first regrowth;
+/// enough for every tier-1 mix, so the hot path never reallocates.
+constexpr std::size_t ringInitialCapacity = 64;
+
+} // namespace
+
+const char *
+pressureTrafficName(PressureTraffic traffic)
+{
+    switch (traffic) {
+      case PressureTraffic::DramFetch:
+        return "dram_fetch";
+      case PressureTraffic::Writeback:
+        return "writeback";
+      case PressureTraffic::Forward:
+        return "forward";
+      case PressureTraffic::SpmSpill:
+        return "spm_spill";
+    }
+    return "unknown";
+}
+
+PressureLedger::PressureLedger() { qosClasses_.push_back("default"); }
+
+int
+PressureLedger::addSource(const std::string &name)
+{
+    RELIEF_ASSERT(!sealed_, "pressure ledger sealed; cannot add source ",
+                  name);
+    sources_.push_back(name);
+    return int(sources_.size()) - 1;
+}
+
+int
+PressureLedger::addQosClass(const std::string &name)
+{
+    RELIEF_ASSERT(!sealed_, "pressure ledger sealed; cannot add class ",
+                  name);
+    qosClasses_.push_back(name);
+    return int(qosClasses_.size()) - 1;
+}
+
+int
+PressureLedger::addResource(BandwidthResource &res)
+{
+    RELIEF_ASSERT(!sealed_, "pressure ledger sealed; cannot add resource ",
+                  res.name());
+    int id = int(resources_.size());
+    resources_.push_back(&res);
+    res.attachLedger(this, id);
+    return id;
+}
+
+void
+PressureLedger::seal()
+{
+    RELIEF_ASSERT(!sealed_, "pressure ledger sealed twice");
+    numKeys_ = 1 + numSources() * numQosClasses() * numPressureTraffic;
+    slots_.assign(std::size_t(numResources()) * numKeys_, Slot{});
+    rings_.resize(resources_.size());
+    for (Ring &ring : rings_)
+        ring.entries.reserve(ringInitialCapacity);
+    sealed_ = true;
+}
+
+int
+PressureLedger::keyFor(const RequestorTag &tag) const
+{
+    if (tag.source < 0 || tag.source >= numSources() ||
+        tag.qosClass >= qosClasses_.size()) {
+        return 0;
+    }
+    return 1 +
+           (int(tag.source) * numQosClasses() + int(tag.qosClass)) *
+               numPressureTraffic +
+           int(tag.traffic);
+}
+
+int
+PressureLedger::keySource(int key) const
+{
+    if (key <= 0)
+        return -1;
+    return (key - 1) / (numPressureTraffic * numQosClasses());
+}
+
+int
+PressureLedger::keyQos(int key) const
+{
+    if (key <= 0)
+        return 0;
+    return ((key - 1) / numPressureTraffic) % numQosClasses();
+}
+
+PressureTraffic
+PressureLedger::keyTraffic(int key) const
+{
+    if (key <= 0)
+        return PressureTraffic::DramFetch;
+    return PressureTraffic((key - 1) % numPressureTraffic);
+}
+
+const std::string &
+PressureLedger::sourceName(int source) const
+{
+    return sources_.at(source);
+}
+
+const std::string &
+PressureLedger::qosClassName(int qos) const
+{
+    return qosClasses_.at(qos);
+}
+
+const BandwidthResource &
+PressureLedger::resource(int id) const
+{
+    return *resources_.at(id);
+}
+
+PressureLedger::Slot &
+PressureLedger::slotRef(int resource, int key)
+{
+    return slots_[std::size_t(resource) * numKeys_ + key];
+}
+
+const PressureLedger::Slot &
+PressureLedger::slot(int resource, int key) const
+{
+    RELIEF_ASSERT(sealed_, "pressure ledger not sealed");
+    return slots_.at(std::size_t(resource) * numKeys_ + key);
+}
+
+void
+PressureLedger::pushReservation(Ring &ring, Tick start, Tick end, int key)
+{
+    if (ring.entries.size() == ring.entries.capacity() && ring.head > 0) {
+        // Reclaim expired entries instead of growing; the backlog a
+        // resource can accumulate is bounded by in-flight transfers,
+        // so this keeps the ring at its initial capacity in practice.
+        ring.entries.erase(ring.entries.begin(),
+                           ring.entries.begin() +
+                               std::ptrdiff_t(ring.head));
+        ring.head = 0;
+    }
+    ring.entries.push_back({start, end, std::int32_t(key)});
+}
+
+void
+PressureLedger::record(int resource, const RequestorTag &tag,
+                       Tick request_time, Tick pending, Tick start,
+                       Tick hold, std::uint64_t bytes)
+{
+    RELIEF_ASSERT(sealed_, "pressure ledger recording before seal()");
+    int key = keyFor(tag);
+    Slot &own = slotRef(resource, key);
+    own.bytes += bytes;
+    own.transfers += 1;
+    own.serviceTicks += hold;
+    own.waitSuffered += pending;
+
+    Ring &ring = rings_[resource];
+    while (ring.head < ring.entries.size() &&
+           ring.entries[ring.head].end <= request_time) {
+        ++ring.head;
+    }
+
+    if (pending > 0) {
+        // Walk the wait interval [request_time, request_time+pending)
+        // over the outstanding reservations, oldest first, charging
+        // each segment to the reservation covering (or, across an
+        // idle gap, the next one holding) the pipe. The newest entry
+        // ends exactly where the wait does, so the whole interval is
+        // always attributed and caused == suffered per resource.
+        Tick low = request_time;
+        Tick wait_end = request_time + pending;
+        for (std::size_t i = ring.head;
+             i < ring.entries.size() && low < wait_end; ++i) {
+            const Reservation &res = ring.entries[i];
+            if (res.end <= low)
+                continue;
+            Tick hi = std::min(res.end, wait_end);
+            slotRef(resource, res.key).waitCaused += hi - low;
+            low = hi;
+        }
+        if (low < wait_end) {
+            // Ring was reset mid-backlog (stats reset); keep the
+            // books balanced by charging the untagged bucket.
+            slotRef(resource, 0).waitCaused += wait_end - low;
+        }
+    }
+
+    pushReservation(ring, start, start + hold, key);
+}
+
+PressureLedger::Slot
+PressureLedger::resourceTotal(int resource) const
+{
+    Slot total;
+    for (int key = 0; key < numKeys_; ++key)
+        total.accumulate(slot(resource, key));
+    return total;
+}
+
+PressureLedger::Slot
+PressureLedger::qosTotal(int qos) const
+{
+    Slot total;
+    for (int res = 0; res < numResources(); ++res) {
+        for (int key = 0; key < numKeys_; ++key) {
+            if (keyQos(key) == qos)
+                total.accumulate(slot(res, key));
+        }
+    }
+    return total;
+}
+
+int
+PressureLedger::queueDepth(int resource, Tick now) const
+{
+    const Ring &ring = rings_.at(resource);
+    auto first = ring.entries.begin() + std::ptrdiff_t(ring.head);
+    // Reservation ends are non-decreasing (FIFO pipe), so the count
+    // of entries still outstanding at @p now is a binary search away.
+    auto it = std::upper_bound(
+        first, ring.entries.end(), now,
+        [](Tick t, const Reservation &r) { return t < r.end; });
+    return int(ring.entries.end() - it);
+}
+
+std::vector<PressureLedger::Contender>
+PressureLedger::topContenders(int resource, int k) const
+{
+    std::vector<Contender> rows;
+    for (int key = 0; key < numKeys_; ++key) {
+        const Slot &s = slot(resource, key);
+        if (s.transfers == 0)
+            continue;
+        rows.push_back({key, s});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Contender &a, const Contender &b) {
+                  if (a.slot.waitCaused != b.slot.waitCaused)
+                      return a.slot.waitCaused > b.slot.waitCaused;
+                  if (a.slot.bytes != b.slot.bytes)
+                      return a.slot.bytes > b.slot.bytes;
+                  return a.key < b.key;
+              });
+    if (int(rows.size()) > k)
+        rows.resize(std::size_t(k));
+    return rows;
+}
+
+void
+PressureLedger::writeJson(std::ostream &os, Tick end_tick, int top_k,
+                          const Summary &summary,
+                          const char *schema) const
+{
+    RELIEF_ASSERT(sealed_, "pressure ledger not sealed");
+
+    os << "{\n";
+    if (schema)
+        os << "  \"schema\": \"" << schema << "\",\n";
+    os << "  \"end_us\": " << jsonNumber(toUs(end_tick)) << ",\n";
+
+    os << "  \"qos_classes\": [";
+    for (int qos = 0; qos < numQosClasses(); ++qos) {
+        os << (qos ? ", " : "") << "\"" << jsonEscape(qosClasses_[qos])
+           << "\"";
+    }
+    os << "],\n  \"traffic\": [";
+    for (int t = 0; t < numPressureTraffic; ++t) {
+        os << (t ? ", " : "") << "\""
+           << pressureTrafficName(PressureTraffic(t)) << "\"";
+    }
+    os << "],\n";
+
+    Slot grand;
+    for (int res = 0; res < numResources(); ++res)
+        grand.accumulate(resourceTotal(res));
+    os << "  \"totals\": {\n"
+       << "    \"bytes\": " << grand.bytes << ",\n"
+       << "    \"transfers\": " << grand.transfers << ",\n"
+       << "    \"service_us\": " << jsonNumber(toUs(grand.serviceTicks))
+       << ",\n"
+       << "    \"wait_us\": " << jsonNumber(toUs(grand.waitSuffered))
+       << ",\n"
+       << "    \"dram_bytes\": " << summary.dramBytes << ",\n"
+       << "    \"fabric_bytes\": " << summary.fabricBytes << ",\n"
+       << "    \"bytes_spared_colocation\": "
+       << summary.sparedColocationBytes << ",\n"
+       << "    \"bytes_spared_forwarding\": "
+       << summary.sparedForwardBytes << "\n  },\n";
+
+    os << "  \"qos\": [\n";
+    for (int qos = 0; qos < numQosClasses(); ++qos) {
+        Slot total = qosTotal(qos);
+        os << "    {\"name\": \"" << jsonEscape(qosClasses_[qos])
+           << "\", \"bytes\": " << total.bytes
+           << ", \"transfers\": " << total.transfers
+           << ", \"service_us\": "
+           << jsonNumber(toUs(total.serviceTicks))
+           << ", \"wait_suffered_us\": "
+           << jsonNumber(toUs(total.waitSuffered))
+           << ", \"wait_caused_us\": "
+           << jsonNumber(toUs(total.waitCaused)) << "}"
+           << (qos + 1 < numQosClasses() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+
+    os << "  \"resources\": [\n";
+    for (int res = 0; res < numResources(); ++res) {
+        const BandwidthResource &bw = *resources_[res];
+        Slot total = resourceTotal(res);
+        os << "    {\n      \"name\": \"" << jsonEscape(bw.name())
+           << "\",\n      \"peak_gbs\": " << jsonNumber(bw.bandwidth())
+           << ",\n      \"bytes\": " << total.bytes
+           << ",\n      \"transfers\": " << total.transfers
+           << ",\n      \"service_us\": "
+           << jsonNumber(toUs(total.serviceTicks))
+           << ",\n      \"wait_us\": "
+           << jsonNumber(toUs(total.waitSuffered))
+           << ",\n      \"busy_us\": "
+           << jsonNumber(toUs(bw.busyTime(end_tick)))
+           << ",\n      \"occupancy\": "
+           << jsonNumber(end_tick ? bw.occupancy(end_tick) : 0.0)
+           << ",\n      \"contenders\": [";
+        std::vector<Contender> rows = topContenders(res, top_k);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Contender &row = rows[i];
+            int src = keySource(row.key);
+            os << (i ? "," : "") << "\n        {\"source\": \""
+               << jsonEscape(src < 0 ? std::string("untagged")
+                                     : sources_[src])
+               << "\", \"qos\": \""
+               << jsonEscape(qosClasses_[keyQos(row.key)])
+               << "\", \"traffic\": \""
+               << (row.key == 0 ? "untagged"
+                                : pressureTrafficName(
+                                      keyTraffic(row.key)))
+               << "\", \"bytes\": " << row.slot.bytes
+               << ", \"transfers\": " << row.slot.transfers
+               << ", \"service_us\": "
+               << jsonNumber(toUs(row.slot.serviceTicks))
+               << ", \"wait_suffered_us\": "
+               << jsonNumber(toUs(row.slot.waitSuffered))
+               << ", \"wait_caused_us\": "
+               << jsonNumber(toUs(row.slot.waitCaused)) << "}";
+        }
+        os << (rows.empty() ? "]" : "\n      ]") << "\n    }"
+           << (res + 1 < numResources() ? "," : "") << "\n";
+    }
+    os << "  ]\n}";
+}
+
+void
+PressureLedger::resetStats()
+{
+    std::fill(slots_.begin(), slots_.end(), Slot{});
+    for (Ring &ring : rings_) {
+        ring.entries.clear();
+        ring.head = 0;
+    }
+}
+
+} // namespace relief

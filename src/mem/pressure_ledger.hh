@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Memory-pressure attribution ledger.
+ *
+ * Every BandwidthResource in the modeled SoC (DRAM channel, banks,
+ * per-accelerator DMA read/write channels, scratchpad ports,
+ * interconnect links) serializes transfers FIFO, so a transfer both
+ * *suffers* queueing delay (it starts after its request time because
+ * earlier reservations hold the pipe) and *causes* it (later
+ * requesters wait behind its reservation). The ledger attributes both
+ * directions per resource x requestor key, where a key is the dense
+ * encoding of (source accelerator, QoS class, traffic type). This is
+ * the observability substrate for RELIEF's central claim: it shows
+ * *who* is pressuring each memory-plane resource, not just how busy
+ * the resource is.
+ *
+ * Hot-path contract: once seal() has run, record() touches only
+ * pre-sized slot arrays indexed by small integer ids plus a bounded
+ * reservation ring per resource — no allocation, no hashing. The
+ * reservation ring is what makes caused-delay attribution possible:
+ * when a claim waits, the wait interval is walked over the
+ * still-outstanding reservations ahead of it and each overlap is
+ * charged to that reservation's key, so per resource the sum of
+ * delay-caused always equals the sum of delay-suffered.
+ */
+
+#ifndef RELIEF_MEM_PRESSURE_LEDGER_HH
+#define RELIEF_MEM_PRESSURE_LEDGER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace relief
+{
+
+class BandwidthResource;
+
+/** Traffic type crossing the DMA/DRAM plane, for attribution. */
+enum class PressureTraffic : std::uint8_t
+{
+    DramFetch = 0, ///< DRAM -> SPM operand fetch.
+    Writeback = 1, ///< SPM -> DRAM write-back of an output.
+    Forward = 2,   ///< Producer SPM -> consumer SPM over the fabric.
+    SpmSpill = 3,  ///< Forced write-back when a partition is evicted.
+};
+
+constexpr int numPressureTraffic = 4;
+
+const char *pressureTrafficName(PressureTraffic traffic);
+
+/**
+ * Identity of one transfer for contention attribution. source/qosClass
+ * index the ledger's registered tables; requestId (DAG span or node
+ * id) rides along for debug logging only — it is unbounded, so it is
+ * deliberately not part of the dense slot key.
+ */
+struct RequestorTag
+{
+    std::int16_t source = -1; ///< Ledger source id; -1 == untagged.
+    std::uint8_t qosClass = 0;
+    PressureTraffic traffic = PressureTraffic::DramFetch;
+    std::uint64_t requestId = 0;
+};
+
+class PressureLedger
+{
+  public:
+    PressureLedger();
+
+    // --- Registration (construction time; allocates) ---
+
+    /** Register a traffic source (an accelerator). @return its id. */
+    int addSource(const std::string &name);
+
+    /** Register a QoS class. Class 0 ("default") is pre-registered. */
+    int addQosClass(const std::string &name);
+
+    /**
+     * Register @p res and attach the ledger to it, so every claim the
+     * resource serves is recorded here. @return the resource id.
+     */
+    int addResource(BandwidthResource &res);
+
+    /**
+     * Freeze the key space and allocate the slot table. Must run after
+     * all sources/classes/resources are registered and before the
+     * first record(); record() on an unsealed ledger is a bug.
+     */
+    void seal();
+    bool sealed() const { return sealed_; }
+
+    int numSources() const { return int(sources_.size()); }
+    int numQosClasses() const { return int(qosClasses_.size()); }
+    int numResources() const { return int(resources_.size()); }
+
+    /** Dense keys: 0 is the untagged bucket, then S x Q x T slots. */
+    int numKeys() const { return numKeys_; }
+    int keyFor(const RequestorTag &tag) const;
+    int keySource(int key) const;  ///< -1 for the untagged key.
+    int keyQos(int key) const;     ///< 0 for the untagged key.
+    PressureTraffic keyTraffic(int key) const;
+
+    const std::string &sourceName(int source) const;
+    const std::string &qosClassName(int qos) const;
+    const BandwidthResource &resource(int id) const;
+
+    // --- Hot path ---
+
+    /**
+     * Account one reservation on resource @p resource. Called by
+     * BandwidthResource::claim with @p pending = the queueing delay
+     * this claim suffered at that resource (how long the pipe's
+     * backlog pushed it past @p request_time), @p start/@p hold the
+     * granted reservation, and @p bytes its size. Zero-allocation
+     * once sealed, except for rare amortized ring growth.
+     */
+    void record(int resource, const RequestorTag &tag, Tick request_time,
+                Tick pending, Tick start, Tick hold, std::uint64_t bytes);
+
+    // --- Accounting views ---
+
+    struct Slot
+    {
+        std::uint64_t bytes = 0;
+        std::uint64_t transfers = 0;
+        Tick serviceTicks = 0;  ///< Time the resource was held.
+        Tick waitSuffered = 0;  ///< Delay this key's transfers ate.
+        Tick waitCaused = 0;    ///< Delay this key inflicted on others.
+
+        void
+        accumulate(const Slot &other)
+        {
+            bytes += other.bytes;
+            transfers += other.transfers;
+            serviceTicks += other.serviceTicks;
+            waitSuffered += other.waitSuffered;
+            waitCaused += other.waitCaused;
+        }
+    };
+
+    const Slot &slot(int resource, int key) const;
+
+    /** Sum of all slots of @p resource (== the resource's counters). */
+    Slot resourceTotal(int resource) const;
+
+    /** Claim-weighted rollup of one QoS class across all resources. */
+    Slot qosTotal(int qos) const;
+
+    /**
+     * Reservations of @p resource still outstanding at @p now —
+     * queued or in flight. This is the queue-depth sampler probe.
+     */
+    int queueDepth(int resource, Tick now) const;
+
+    /** One contender row: a key with traffic, sorted for reporting. */
+    struct Contender
+    {
+        int key = 0;
+        Slot slot;
+    };
+
+    /**
+     * Top @p k keys of @p resource by delay caused (ties: bytes, then
+     * key id — fully deterministic). Reporting path; allocates.
+     */
+    std::vector<Contender> topContenders(int resource, int k) const;
+
+    /** Workload-level byte totals the caller knows and we do not. */
+    struct Summary
+    {
+        std::uint64_t dramBytes = 0;
+        std::uint64_t fabricBytes = 0;
+        std::uint64_t sparedColocationBytes = 0;
+        std::uint64_t sparedForwardBytes = 0;
+    };
+
+    /**
+     * Emit the pressure document body: totals, per-QoS rollups, and
+     * per-resource contender tables. When @p schema is non-null it is
+     * emitted as a leading "schema" field (the relief-pressure-v1
+     * artifact); pass nullptr to embed the same body inside another
+     * document (the stats JSON "pressure" block).
+     */
+    void writeJson(std::ostream &os, Tick end_tick, int top_k,
+                   const Summary &summary, const char *schema) const;
+
+    void resetStats();
+
+  private:
+    struct Reservation
+    {
+        Tick start = 0;
+        Tick end = 0;
+        std::int32_t key = 0;
+    };
+
+    /**
+     * Outstanding reservations of one resource, oldest first. Stored
+     * as a vector with an explicit head: expired entries (end <=
+     * request time) are consumed by advancing head_ and reclaimed by
+     * compaction before the vector would otherwise grow.
+     */
+    struct Ring
+    {
+        std::vector<Reservation> entries;
+        std::size_t head = 0;
+
+        std::size_t size() const { return entries.size() - head; }
+    };
+
+    Slot &slotRef(int resource, int key);
+    void pushReservation(Ring &ring, Tick start, Tick end, int key);
+
+    std::vector<std::string> sources_;
+    std::vector<std::string> qosClasses_;
+    std::vector<BandwidthResource *> resources_;
+    std::vector<Slot> slots_; ///< numResources x numKeys, row-major.
+    std::vector<Ring> rings_; ///< One per resource.
+    int numKeys_ = 0;
+    bool sealed_ = false;
+};
+
+} // namespace relief
+
+#endif // RELIEF_MEM_PRESSURE_LEDGER_HH

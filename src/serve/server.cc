@@ -59,6 +59,11 @@ ServeDriver::ServeDriver(const ServeConfig &config) : config_(config)
     // Fresh ids per run: reports become a pure function of the config
     // and seed, identical on any parallelFor worker (see dag.hh).
     resetNodeIds();
+    // Serve classes register with the pressure ledger as QoS ids 1..N,
+    // after its implicit "default" class 0 (untagged traffic, spills).
+    config_.soc.qosClassNames.clear();
+    for (const QosClassConfig &cls : config_.classes)
+        config_.soc.qosClassNames.push_back(cls.name);
     soc_ = std::make_unique<Soc>(config_.soc);
     admission_ = makeAdmissionPolicy(config_.admission);
     schedule_ = generateArrivals(config_.arrival, config_.classes,
@@ -280,8 +285,10 @@ ServeDriver::onArrival(std::size_t index)
     perClassInSystem_[std::size_t(event.qosClass)] += 1;
     backlog_ += dag->criticalPathRuntime();
     // Span-context id 0 means "untraced"; request ids start at 0, so
-    // the context is the id shifted up by one.
+    // the context is the id shifted up by one. The ledger QoS id is
+    // likewise the class index shifted past the implicit "default".
     dag->setSpanContext(std::uint64_t(index) + 1);
+    dag->setQosClass(int(event.qosClass) + 1);
     dags_[index] = dag;
     byDag_[dag.get()] = index;
     soc_->manager().submitDag(dag.get(), soc_->sim().now());
@@ -444,6 +451,11 @@ ServeDriver::run()
         report.alerts = alerts_->summary();
         report.alertEvents = alerts_->events();
     }
+    const PressureLedger &ledger = soc_->pressureLedger();
+    report.pressure.reserve(std::size_t(ledger.numQosClasses()));
+    for (int qos = 0; qos < ledger.numQosClasses(); ++qos)
+        report.pressure.push_back(
+            {ledger.qosClassName(qos), ledger.qosTotal(qos)});
     return report;
 }
 
@@ -498,6 +510,19 @@ writeServeRunJson(std::ostream &os, const ServeReport &report,
     for (const ClassSlo &slo : report.classes) {
         os << (first ? "\n" : ",\n") << pad << "    ";
         writeClassSloJson(os, slo, report.horizon, indent + 4);
+        first = false;
+    }
+    os << "\n" << pad << "  ],\n" << pad << "  \"pressure\": [";
+    first = true;
+    for (const ServeReport::QosPressure &qos : report.pressure) {
+        os << (first ? "\n" : ",\n") << pad << "    {\"class\": \""
+           << jsonEscape(qos.name) << "\", \"bytes\": " << qos.slot.bytes
+           << ", \"transfers\": " << qos.slot.transfers
+           << ", \"service_us\": " << jsonNumber(toUs(qos.slot.serviceTicks))
+           << ", \"wait_suffered_us\": "
+           << jsonNumber(toUs(qos.slot.waitSuffered))
+           << ", \"wait_caused_us\": "
+           << jsonNumber(toUs(qos.slot.waitCaused)) << "}";
         first = false;
     }
     os << "\n" << pad << "  ],\n" << pad << "  \"alerts\": ";

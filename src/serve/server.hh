@@ -101,6 +101,19 @@ struct ServeReport
     /** Burn-rate alert summaries + event log (empty when off). */
     std::vector<ClassAlertSummary> alerts;
     std::vector<AlertEvent> alertEvents;
+
+    /**
+     * Per-QoS memory-pressure rollup from the Soc's attribution
+     * ledger, claim-weighted across every bandwidth resource. Entry 0
+     * is the ledger's implicit "default" class (untagged traffic and
+     * SPM spills); entries 1..N line up with `classes`.
+     */
+    struct QosPressure
+    {
+        std::string name;
+        PressureLedger::Slot slot;
+    };
+    std::vector<QosPressure> pressure;
 };
 
 class ServeDriver

@@ -1,0 +1,320 @@
+#include "stats/json_reader.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        fatal("JSON value is not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ != Kind::Number)
+        fatal("JSON value is not a number");
+    return number_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        fatal("JSON value is not a string");
+    return string_;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    return kind_ == Kind::Object ? keys_.size() : array_.size();
+}
+
+const JsonValue &
+JsonValue::at(std::size_t index) const
+{
+    if (kind_ != Kind::Array)
+        fatal("JSON value is not an array");
+    if (index >= array_.size())
+        fatal("JSON array index ", index, " out of range (size ",
+              array_.size(), ")");
+    return array_[index];
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *value = find(key);
+    if (!value)
+        fatal("JSON object has no member '", key, "'");
+    return *value;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &array_[it->second];
+}
+
+/** Recursive-descent parser over the whole input string. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    run()
+    {
+        JsonValue root = value();
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing characters after the document");
+        return root;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        // Line number of the current position, for usable messages.
+        int line = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i)
+            if (text_[i] == '\n')
+                ++line;
+        fatal("JSON parse error at line ", line, ": ", what);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" +
+                 text_[pos_] + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++pos_)
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                fail(std::string("bad literal (expected ") + word + ")");
+    }
+
+    JsonValue
+    value()
+    {
+        JsonValue out;
+        switch (peek()) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            out.kind_ = JsonValue::Kind::String;
+            out.string_ = string();
+            return out;
+          case 't':
+            literal("true");
+            out.kind_ = JsonValue::Kind::Bool;
+            out.bool_ = true;
+            return out;
+          case 'f':
+            literal("false");
+            out.kind_ = JsonValue::Kind::Bool;
+            out.bool_ = false;
+            return out;
+          case 'n':
+            literal("null");
+            return out;
+          default:
+            return number();
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        JsonValue out;
+        out.kind_ = JsonValue::Kind::Object;
+        if (consume('}'))
+            return out;
+        do {
+            skipSpace();
+            std::string key = string();
+            expect(':');
+            // Duplicate keys keep the last value, like most readers.
+            auto it = out.index_.find(key);
+            if (it == out.index_.end()) {
+                out.index_[key] = out.array_.size();
+                out.keys_.push_back(key);
+                out.array_.push_back(value());
+            } else {
+                out.array_[it->second] = value();
+            }
+        } while (consume(','));
+        expect('}');
+        return out;
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        JsonValue out;
+        out.kind_ = JsonValue::Kind::Array;
+        if (consume(']'))
+            return out;
+        do {
+            out.array_.push_back(value());
+        } while (consume(','));
+        expect(']');
+        return out;
+    }
+
+    std::string
+    string()
+    {
+        if (peek() != '"')
+            fail("expected a string");
+        ++pos_;
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = unsigned(std::strtoul(
+                    text_.substr(pos_, 4).c_str(), nullptr, 16));
+                pos_ += 4;
+                // Our writers only escape control characters; anything
+                // else round-trips as a replacement byte, which the
+                // diff tool never compares anyway.
+                out.push_back(code < 0x80 ? char(code) : '?');
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+        if (pos_ >= text_.size())
+            fail("unterminated string");
+        ++pos_; // closing quote
+        return out;
+    }
+
+    JsonValue
+    number()
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        bool digits = false;
+        auto eat_digits = [&] {
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                digits = true;
+            }
+        };
+        eat_digits();
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            eat_digits();
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '-' || text_[pos_] == '+'))
+                ++pos_;
+            eat_digits();
+        }
+        if (!digits)
+            fail("expected a value");
+        JsonValue out;
+        out.kind_ = JsonValue::Kind::Number;
+        out.number_ =
+            std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+        return out;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return JsonParser(text).run();
+}
+
+JsonValue
+JsonValue::parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot read JSON file '", path, "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse(buffer.str());
+}
+
+} // namespace relief

@@ -154,6 +154,32 @@ TEST(ServeDriverTest, RunJsonHasSloFields)
         EXPECT_NE(json.find(field), std::string::npos) << field;
 }
 
+TEST(ServeDriverTest, PressureRollupAttributesPerQosClass)
+{
+    ServeDriver driver(smallConfig());
+    ServeReport report = driver.run();
+
+    // One rollup per serving class plus the ledger's implicit
+    // "default" bucket (spill evictions and untagged traffic).
+    ASSERT_EQ(report.pressure.size(), report.classes.size() + 1);
+    EXPECT_EQ(report.pressure[0].name, "default");
+    std::uint64_t tagged = 0;
+    for (std::size_t i = 0; i < report.classes.size(); ++i) {
+        EXPECT_EQ(report.pressure[i + 1].name, report.classes[i].name);
+        tagged += report.pressure[i + 1].slot.bytes;
+        // A class that completed work must have moved bytes.
+        if (report.classes[i].completed > 0)
+            EXPECT_GT(report.pressure[i + 1].slot.bytes, 0u) << i;
+    }
+    EXPECT_GT(tagged, 0u);
+
+    // The run JSON carries the block with a row per class.
+    std::string json = runJson(report);
+    EXPECT_NE(json.find("\"pressure\""), std::string::npos);
+    EXPECT_NE(json.find("\"wait_suffered_us\""), std::string::npos);
+    EXPECT_NE(json.find("\"wait_caused_us\""), std::string::npos);
+}
+
 TEST(ServeDriverTest, SloTablePrintsEveryClass)
 {
     ServeDriver driver(smallConfig());

@@ -1,0 +1,90 @@
+/** @file Unit tests for the DOM JSON reader behind diff tooling. */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "stats/json_reader.hh"
+
+namespace relief
+{
+namespace
+{
+
+TEST(JsonReaderTest, ParsesScalarsArraysAndObjects)
+{
+    JsonValue doc = JsonValue::parse(
+        R"({"a": 1.5, "b": [1, 2, 3], "c": {"d": "text"},
+            "t": true, "f": false, "n": null, "neg": -2e3})");
+    EXPECT_DOUBLE_EQ(doc.at("a").asNumber(), 1.5);
+    ASSERT_EQ(doc.at("b").size(), 3u);
+    EXPECT_DOUBLE_EQ(doc.at("b").at(2).asNumber(), 3.0);
+    EXPECT_EQ(doc.at("c").at("d").asString(), "text");
+    EXPECT_TRUE(doc.at("t").asBool());
+    EXPECT_FALSE(doc.at("f").asBool());
+    EXPECT_TRUE(doc.at("n").isNull());
+    EXPECT_DOUBLE_EQ(doc.at("neg").asNumber(), -2000.0);
+}
+
+TEST(JsonReaderTest, KeysPreserveDocumentOrder)
+{
+    JsonValue doc = JsonValue::parse(R"({"z": 1, "a": 2, "m": 3})");
+    ASSERT_EQ(doc.keys().size(), 3u);
+    EXPECT_EQ(doc.keys()[0], "z");
+    EXPECT_EQ(doc.keys()[1], "a");
+    EXPECT_EQ(doc.keys()[2], "m");
+}
+
+TEST(JsonReaderTest, FindToleratesMissingMembers)
+{
+    JsonValue doc = JsonValue::parse(R"({"here": 1})");
+    EXPECT_NE(doc.find("here"), nullptr);
+    EXPECT_EQ(doc.find("gone"), nullptr);
+    EXPECT_THROW(doc.at("gone"), FatalError);
+}
+
+TEST(JsonReaderTest, DecodesStringEscapes)
+{
+    JsonValue doc =
+        JsonValue::parse(R"({"s": "a\"b\\c\nd\teA"})");
+    EXPECT_EQ(doc.at("s").asString(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonReaderTest, RejectsMalformedDocuments)
+{
+    EXPECT_THROW(JsonValue::parse("{"), FatalError);
+    EXPECT_THROW(JsonValue::parse("[1, 2"), FatalError);
+    EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), FatalError);
+    EXPECT_THROW(JsonValue::parse("12 34"), FatalError);
+    EXPECT_THROW(JsonValue::parse("\"open"), FatalError);
+    EXPECT_THROW(JsonValue::parse("nope"), FatalError);
+}
+
+TEST(JsonReaderTest, KindMismatchesAreFatal)
+{
+    JsonValue doc = JsonValue::parse(R"({"n": 1})");
+    EXPECT_THROW(doc.at("n").asString(), FatalError);
+    EXPECT_THROW(doc.at("n").at(0), FatalError);
+    EXPECT_THROW(doc.at(0), FatalError);
+}
+
+TEST(JsonReaderTest, RoundTripsAPressureDocument)
+{
+    // The shape relief_compare --diff consumes, in miniature.
+    JsonValue doc = JsonValue::parse(R"({
+        "schema": "relief-pressure-v1",
+        "totals": {"bytes": 1024, "wait_us": 3.5},
+        "resources": [
+            {"name": "dram.channel", "bytes": 1024,
+             "contenders": [
+                 {"source": "accA", "qos": "default",
+                  "traffic": "dram_fetch", "bytes": 1024}]}
+        ]})");
+    EXPECT_EQ(doc.at("schema").asString(), "relief-pressure-v1");
+    const JsonValue &res = doc.at("resources").at(0);
+    EXPECT_EQ(res.at("name").asString(), "dram.channel");
+    EXPECT_DOUBLE_EQ(
+        res.at("contenders").at(0).at("bytes").asNumber(), 1024.0);
+}
+
+} // namespace
+} // namespace relief

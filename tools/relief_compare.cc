@@ -12,8 +12,25 @@
  * --stats-json FILE writes one JSON stats dump per policy, with the
  * policy name spliced in before the extension (stats.json ->
  * stats.RELIEF.json); --debug-flags applies to every run.
+ *
+ * Diff mode compares two previously written stats documents instead
+ * of running anything:
+ *
+ *   relief_compare --diff A.json B.json [--max-rel-delta PCT]
+ *                  [--abs-floor X] [--breaches-only]
+ *
+ * Every numeric field of the memory-pressure block (totals, per-QoS
+ * rollups, per-resource counters, contender slots matched by
+ * source/qos/traffic) and the p50/p95/p99 of every histogram stat are
+ * compared; a relative delta above the threshold (default 10%) is a
+ * breach, and any breach makes the exit status non-zero — the CI hook
+ * for "this change moved memory pressure". Values where both sides
+ * sit below --abs-floor are skipped as noise.
  */
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -23,6 +40,7 @@
 #include "core/relief.hh"
 #include "dag/workload_file.hh"
 #include "sched/oracle.hh"
+#include "stats/json_reader.hh"
 
 using namespace relief;
 
@@ -41,22 +59,237 @@ buildWorkload(const ExperimentConfig &config,
     return dags;
 }
 
+/** Shared breach accounting for diff mode. */
+struct DiffReport
+{
+    double maxRelPct = 10.0; ///< Relative-delta breach threshold (%).
+    double absFloor = 1.0;   ///< Both below this -> skipped as noise.
+    bool breachesOnly = false;
+    int breaches = 0;
+    int compared = 0;
+    Table table{"stats diff (A vs B)"};
+
+    DiffReport()
+    {
+        table.setHeader({"metric", "A", "B", "delta %", "verdict"});
+    }
+
+    void
+    row(const std::string &metric, double a, double b)
+    {
+        if (std::fabs(a) < absFloor && std::fabs(b) < absFloor)
+            return;
+        double denom = std::max(std::fabs(a), std::fabs(b));
+        double rel = std::fabs(a - b) / denom * 100.0;
+        bool breach = rel > maxRelPct;
+        compared += 1;
+        breaches += breach ? 1 : 0;
+        if (breachesOnly && !breach)
+            return;
+        table.addRow({metric, Table::num(a, 3), Table::num(b, 3),
+                      Table::num(rel, 1), breach ? "BREACH" : "ok"});
+    }
+
+    /** Compare every numeric member present in both objects. */
+    void
+    object(const std::string &prefix, const JsonValue &a,
+           const JsonValue &b)
+    {
+        for (const std::string &key : a.keys()) {
+            const JsonValue *vb = b.find(key);
+            if (vb && a.at(key).isNumber() && vb->isNumber())
+                row(prefix + key, a.at(key).asNumber(), vb->asNumber());
+        }
+    }
+};
+
+/**
+ * The pressure block of a loaded document: the "pressure" member of a
+ * relief-stats-v1 dump, or the document itself when it already is a
+ * standalone relief-pressure-v1 artifact.
+ */
+const JsonValue *
+pressureBlock(const JsonValue &doc)
+{
+    if (const JsonValue *block = doc.find("pressure"))
+        return block;
+    if (doc.find("totals") && doc.find("resources"))
+        return &doc;
+    return nullptr;
+}
+
+/** Identity of a contender row for cross-file matching. */
+std::string
+contenderKey(const JsonValue &row)
+{
+    return row.at("source").asString() + "/" + row.at("qos").asString() +
+           "/" + row.at("traffic").asString();
+}
+
+void
+diffPressure(DiffReport &diff, const JsonValue &a, const JsonValue &b)
+{
+    diff.object("pressure.totals.", a.at("totals"), b.at("totals"));
+
+    const JsonValue &qos_b = b.at("qos");
+    for (std::size_t i = 0; i < a.at("qos").size(); ++i) {
+        const JsonValue &cls = a.at("qos").at(i);
+        for (std::size_t j = 0; j < qos_b.size(); ++j) {
+            if (qos_b.at(j).at("name").asString() !=
+                cls.at("name").asString())
+                continue;
+            diff.object("pressure.qos." + cls.at("name").asString() + ".",
+                        cls, qos_b.at(j));
+            break;
+        }
+    }
+
+    const JsonValue &res_b = b.at("resources");
+    for (std::size_t i = 0; i < a.at("resources").size(); ++i) {
+        const JsonValue &res = a.at("resources").at(i);
+        const std::string &name = res.at("name").asString();
+        const JsonValue *other = nullptr;
+        for (std::size_t j = 0; j < res_b.size() && !other; ++j)
+            if (res_b.at(j).at("name").asString() == name)
+                other = &res_b.at(j);
+        if (!other)
+            continue;
+        diff.object(name + ".", res, *other);
+        const JsonValue &contenders = res.at("contenders");
+        for (std::size_t c = 0; c < contenders.size(); ++c) {
+            const JsonValue &mine = contenders.at(c);
+            const JsonValue &theirs_all = other->at("contenders");
+            for (std::size_t d = 0; d < theirs_all.size(); ++d) {
+                if (contenderKey(theirs_all.at(d)) != contenderKey(mine))
+                    continue;
+                diff.object(name + "[" + contenderKey(mine) + "].", mine,
+                            theirs_all.at(d));
+                break;
+            }
+        }
+    }
+}
+
+/**
+ * Quantile of a serialized histogram stat, replicating
+ * Histogram::quantile's linear in-bucket interpolation so the diff
+ * agrees with what the live model would report.
+ */
+double
+histQuantile(const JsonValue &hist, double q)
+{
+    double count = hist.at("count").asNumber();
+    if (count <= 0.0)
+        return 0.0;
+    double target = q * count;
+    double seen = hist.at("underflow").asNumber();
+    double vmin = hist.at("min").asNumber();
+    double vmax = hist.at("max").asNumber();
+    if (target <= seen)
+        return vmin;
+    const JsonValue &buckets = hist.at("buckets");
+    double lo = hist.at("range").at(0).asNumber();
+    double hi = hist.at("range").at(1).asNumber();
+    double width = (hi - lo) / double(buckets.size());
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        double in_bucket = buckets.at(i).asNumber();
+        if (in_bucket > 0.0 && target <= seen + in_bucket) {
+            double frac = (target - seen) / in_bucket;
+            double v = lo + double(i) * width + frac * width;
+            return std::min(std::max(v, vmin), vmax);
+        }
+        seen += in_bucket;
+    }
+    return vmax;
+}
+
+void
+diffQuantiles(DiffReport &diff, const JsonValue &a, const JsonValue &b)
+{
+    const JsonValue *stats_a = a.find("stats");
+    const JsonValue *stats_b = b.find("stats");
+    if (!stats_a || !stats_b)
+        return;
+    const double quantiles[] = {0.50, 0.95, 0.99};
+    const char *labels[] = {".p50", ".p95", ".p99"};
+    for (const std::string &key : stats_a->keys()) {
+        const JsonValue &stat = stats_a->at(key);
+        const JsonValue *other = stats_b->find(key);
+        if (!other || !stat.isObject() || !other->isObject())
+            continue;
+        const JsonValue *kind = stat.find("kind");
+        if (!kind || kind->asString() != "histogram")
+            continue;
+        for (int i = 0; i < 3; ++i)
+            diff.row(key + labels[i], histQuantile(stat, quantiles[i]),
+                     histQuantile(*other, quantiles[i]));
+    }
+}
+
+int
+runDiff(const std::string &path_a, const std::string &path_b,
+        DiffReport &diff)
+{
+    JsonValue a = JsonValue::parseFile(path_a);
+    JsonValue b = JsonValue::parseFile(path_b);
+
+    const JsonValue *pressure_a = pressureBlock(a);
+    const JsonValue *pressure_b = pressureBlock(b);
+    if (pressure_a && pressure_b)
+        diffPressure(diff, *pressure_a, *pressure_b);
+    else
+        std::cout << "note: no pressure block in both documents — "
+                     "skipping pressure diff\n";
+    diffQuantiles(diff, a, b);
+
+    diff.table.print(std::cout);
+    std::cout << "\n"
+              << diff.compared << " metrics compared, " << diff.breaches
+              << " above " << Table::num(diff.maxRelPct, 1) << "% ("
+              << path_a << " vs " << path_b << ")\n";
+    return diff.breaches > 0 ? 2 : 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string workload_path;
+    std::vector<std::string> diff_paths;
+    DiffReport diff;
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--workload" && i + 1 < argc) {
             workload_path = argv[++i];
+        } else if (arg == "--diff" && i + 2 < argc) {
+            diff_paths = {argv[i + 1], argv[i + 2]};
+            i += 2;
+        } else if (arg == "--max-rel-delta" && i + 1 < argc) {
+            diff.maxRelPct = std::atof(argv[++i]);
+        } else if (arg == "--abs-floor" && i + 1 < argc) {
+            diff.absFloor = std::atof(argv[++i]);
+        } else if (arg == "--breaches-only") {
+            diff.breachesOnly = true;
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << cliUsage() << " [--workload FILE]\n";
+            std::cout << cliUsage()
+                      << " [--workload FILE]\n"
+                         "   or: relief_compare --diff A.json B.json"
+                         " [--max-rel-delta PCT] [--abs-floor X]"
+                         " [--breaches-only]\n";
             return 0;
         } else {
             args.push_back(arg);
+        }
+    }
+
+    if (!diff_paths.empty()) {
+        try {
+            return runDiff(diff_paths[0], diff_paths[1], diff);
+        } catch (const FatalError &err) {
+            std::cerr << err.what() << "\n";
+            return 1;
         }
     }
 

@@ -37,6 +37,7 @@ main(int argc, char **argv)
     std::string stats_path;
     std::string dot_dir;
     std::string workload_path;
+    std::string pressure_path;
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -48,9 +49,12 @@ main(int argc, char **argv)
             dot_dir = argv[++i];
         } else if (arg == "--workload" && i + 1 < argc) {
             workload_path = argv[++i];
+        } else if (arg == "--pressure-report" && i + 1 < argc) {
+            pressure_path = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             std::cout << cliUsage()
-                      << " [--workload FILE] [--trace FILE] [--stats FILE] [--dot DIR]\n";
+                      << " [--workload FILE] [--trace FILE] [--stats FILE] [--dot DIR]"
+                         " [--pressure-report FILE]\n";
             return 0;
         } else {
             args.push_back(arg);
@@ -178,6 +182,43 @@ main(int argc, char **argv)
         soc.writeStatsJson(out);
         std::cout << "JSON stats written to " << config.statsJsonPath
                   << "\n";
+    }
+    if (!pressure_path.empty()) {
+        std::ofstream out(pressure_path);
+        if (!out) {
+            std::cerr << "cannot write pressure report to "
+                      << pressure_path << "\n";
+            return 1;
+        }
+        soc.writePressureJson(out);
+        std::cout << "pressure report written to " << pressure_path
+                  << "\n";
+
+        // Console digest: the busiest resources and who pressures them.
+        const PressureLedger &ledger = soc.pressureLedger();
+        Table pressure("memory pressure — top contenders per resource");
+        pressure.setHeader({"resource", "source", "qos", "traffic",
+                            "KiB", "wait (us)", "caused (us)"});
+        for (int res = 0; res < ledger.numResources(); ++res) {
+            auto rows = ledger.topContenders(res, 3);
+            if (rows.empty())
+                continue;
+            for (const auto &row : rows) {
+                int src = ledger.keySource(row.key);
+                pressure.addRow(
+                    {ledger.resource(res).name(),
+                     src < 0 ? "untagged" : ledger.sourceName(src),
+                     ledger.qosClassName(ledger.keyQos(row.key)),
+                     row.key == 0 ? "untagged"
+                                  : pressureTrafficName(
+                                        ledger.keyTraffic(row.key)),
+                     std::to_string(row.slot.bytes / 1024),
+                     Table::num(toUs(row.slot.waitSuffered), 1),
+                     Table::num(toUs(row.slot.waitCaused), 1)});
+            }
+        }
+        std::cout << "\n";
+        pressure.print(std::cout);
     }
     return 0;
 }
