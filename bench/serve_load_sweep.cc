@@ -53,6 +53,7 @@
 #include "core/relief.hh"
 #include "core/rng.hh"
 #include "serve/server.hh"
+#include "sim/build_info.hh"
 #include "stats/json.hh"
 
 using namespace relief;
@@ -237,6 +238,9 @@ main(int argc, char **argv)
         // No --jobs or host timing in the document: the same seed must
         // produce a bit-identical file for any worker count.
         out << "{\n  \"schema\": \"relief-serve-v1\",\n"
+            << "  \"build_info\": ";
+        writeBuildInfoJson(out, 2);
+        out << ",\n"
             << "  \"seed\": " << seed << ",\n"
             << "  \"horizon_ms\": " << jsonNumber(horizon_ms) << ",\n"
             << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Maintain and check the BENCH_HISTORY.jsonl performance trajectory.
+
+Each `append` distills one relief-bench-v1 document into a single
+JSONL line (timestamp, build_info, per-run events/s and coverage), so
+the history stays a flat, diffable file that any tooling can read
+line by line. `check` then flags step regressions: for every
+(mix, policy) series, the newest events_per_sec is compared against
+the median of the preceding window — the same noise discipline
+relief_compare applies across repeat runs (docs/performance.md §
+noise-aware gating).
+
+Usage:
+  bench_history.py append BENCH.json [--history FILE] [--note STR]
+  bench_history.py check [--history FILE] [--window N]
+                         [--max-drop-pct P] [--min-entries N]
+
+`check` exits 2 when any series regressed, 0 otherwise — the same
+contract as relief_compare --diff, so CI treats them alike.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+DEFAULT_HISTORY = "BENCH_HISTORY.jsonl"
+
+
+def load_history(path):
+    entries = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError as err:
+                    sys.exit(f"{path}:{lineno}: bad JSONL line: {err}")
+    except FileNotFoundError:
+        pass
+    return entries
+
+
+def distill(doc, note):
+    if doc.get("schema") != "relief-bench-v1":
+        sys.exit(
+            "append expects a relief-bench-v1 document, got schema "
+            f"{doc.get('schema')!r}"
+        )
+    entry = {
+        "timestamp": int(time.time()),
+        "build_info": doc.get("build_info", {}),
+        "jobs": doc.get("jobs"),
+        "smoke": doc.get("smoke"),
+        "limit_ms": doc.get("limit_ms"),
+        "inject_spin_ns": doc.get("inject_spin_ns", 0),
+        "runs": [],
+    }
+    if note:
+        entry["note"] = note
+    for run in doc.get("runs", []):
+        distilled = {
+            "mix": run["mix"],
+            "policy": run["policy"],
+            "events_per_sec": run["events_per_sec"],
+            "host_wall_s": run["host_wall_s"],
+            "sim_events": run["sim_events"],
+        }
+        hostprof = run.get("hostprof")
+        if hostprof:
+            distilled["hostprof_coverage"] = hostprof.get("coverage")
+        entry["runs"].append(distilled)
+    return entry
+
+
+def cmd_append(args):
+    try:
+        with open(args.bench, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"cannot read {args.bench}: {err}")
+    entry = distill(doc, args.note)
+    if entry["inject_spin_ns"]:
+        # A deliberately slowed run (CI's breach-path demonstration)
+        # would poison the trajectory baseline.
+        print(
+            f"skipping append: {args.bench} was produced with "
+            f"--inject-spin-ns {entry['inject_spin_ns']}"
+        )
+        return 0
+    with open(args.history, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    sha = entry["build_info"].get("git_sha", "unknown")
+    print(
+        f"appended {len(entry['runs'])} runs @ {sha} to {args.history}"
+    )
+    return 0
+
+
+def series(entries):
+    """{(mix, policy): [events_per_sec in history order]}"""
+    out = {}
+    for entry in entries:
+        for run in entry.get("runs", []):
+            key = (run["mix"], run["policy"])
+            out.setdefault(key, []).append(run["events_per_sec"])
+    return out
+
+
+def cmd_check(args):
+    entries = load_history(args.history)
+    if len(entries) < args.min_entries:
+        print(
+            f"{args.history}: {len(entries)} entries "
+            f"(< {args.min_entries}); nothing to gate yet"
+        )
+        return 0
+    regressed = []
+    for (mix, policy), values in sorted(series(entries).items()):
+        if len(values) < args.min_entries:
+            continue
+        latest = values[-1]
+        window = values[-(args.window + 1):-1]
+        baseline = statistics.median(window)
+        if baseline <= 0:
+            continue
+        drop_pct = (baseline - latest) / baseline * 100.0
+        verdict = "REGRESSED" if drop_pct > args.max_drop_pct else "ok"
+        print(
+            f"{mix}/{policy}: latest {latest / 1e6:.2f} M ev/s vs "
+            f"median-of-{len(window)} {baseline / 1e6:.2f} M ev/s "
+            f"({drop_pct:+.1f}% drop) {verdict}"
+        )
+        if verdict == "REGRESSED":
+            regressed.append(f"{mix}/{policy}")
+    if regressed:
+        print(
+            f"step regression in {len(regressed)} series: "
+            + ", ".join(regressed)
+        )
+        return 2
+    print("no step regressions")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_append = sub.add_parser("append", help="append one bench run")
+    p_append.add_argument("bench", help="relief-bench-v1 JSON file")
+    p_append.add_argument("--history", default=DEFAULT_HISTORY)
+    p_append.add_argument("--note", default="", help="free-form tag")
+    p_append.set_defaults(func=cmd_append)
+
+    p_check = sub.add_parser("check", help="flag step regressions")
+    p_check.add_argument("--history", default=DEFAULT_HISTORY)
+    p_check.add_argument(
+        "--window", type=int, default=5,
+        help="median window of preceding entries (default 5)")
+    p_check.add_argument(
+        "--max-drop-pct", type=float, default=25.0,
+        help="events/s drop beyond this %% regresses (default 25)")
+    p_check.add_argument(
+        "--min-entries", type=int, default=2,
+        help="series shorter than this are not gated (default 2)")
+    p_check.set_defaults(func=cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

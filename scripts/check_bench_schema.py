@@ -12,6 +12,13 @@ the benches emit:
     span trees) — documented in docs/serving.md
   - relief-pressure-v1 (relief_sim --pressure-report: the memory-
     pressure attribution ledger) — documented in docs/observability.md
+  - relief-hostprof-v1 (relief_sim --host-profile: host wall-time
+    attribution by category) — documented in docs/observability.md §11
+
+Schema family v5: every top-level document carries a "build_info"
+object (git sha, compiler, build type, flags) identifying the binary
+that produced it, relief-bench-v1 gained "inject_spin_ns" and optional
+per-run "hostprof" objects, and relief-hostprof-v1 is new.
 
 Dependency-free (Python standard library only) so CI and developers can
 run it anywhere:
@@ -47,6 +54,18 @@ RUN_FIELDS = {
 
 FRACTION_FIELDS = ("node_deadline_fraction", "dag_deadline_fraction")
 
+BUILD_INFO_FIELDS = ("git_sha", "compiler_id", "compiler_version",
+                     "build_type", "cxx_flags")
+
+HOST_CATS = ("other", "sched", "dma", "mem", "interconnect", "kernels",
+             "stats", "serve")
+
+HOSTPROF_NS_BUCKETS = 40
+
+# Coverage is emitted with ~6 significant digits; allow rounding slack
+# when cross-checking it against the raw nanosecond counters.
+COVERAGE_TOLERANCE = 1e-4
+
 
 def is_number(value):
     return isinstance(value, (int, float)) and not isinstance(value, bool)
@@ -57,17 +76,110 @@ def is_count(value):
         and value >= 0
 
 
+def check_build_info(where, info, errors):
+    """Validate the provenance stamp every v5 document carries."""
+    if not isinstance(info, dict):
+        errors.append("%s: expected a build_info object" % where)
+        return
+    for field in BUILD_INFO_FIELDS:
+        value = info.get(field)
+        if not isinstance(value, str) or not value:
+            errors.append("%s.%s: expected a non-empty string, got %r"
+                          % (where, field, value))
+    extra = set(info) - set(BUILD_INFO_FIELDS)
+    if extra:
+        errors.append("%s: unknown keys %s" % (where, sorted(extra)))
+
+
+def check_hostprof_body(where, hp, errors):
+    """Validate the category/counter body shared by standalone
+    relief-hostprof-v1 documents and per-run embedded "hostprof"
+    objects of a relief-bench-v1 document."""
+
+    def err(msg):
+        errors.append(msg)
+
+    if not isinstance(hp, dict):
+        err("%s: expected an object" % where)
+        return
+    for field in ("total_wall_ns", "attributed_wall_ns"):
+        if not is_count(hp.get(field)):
+            err("%s.%s: expected a non-negative integer, got %r"
+                % (where, field, hp.get(field)))
+    coverage = hp.get("coverage")
+    if not is_number(coverage) or not 0.0 <= coverage <= 1.0:
+        err("%s.coverage: expected a number in [0, 1], got %r"
+            % (where, coverage))
+
+    cats = hp.get("categories")
+    if not isinstance(cats, dict):
+        err("%s.categories: expected an object" % where)
+        return
+    if tuple(cats) != HOST_CATS:
+        err("%s.categories: expected exactly %s in order, got %s"
+            % (where, list(HOST_CATS), list(cats)))
+        return
+    wall_sum = 0
+    for name, cat in cats.items():
+        cwhere = "%s.categories.%s" % (where, name)
+        if not isinstance(cat, dict):
+            err("%s: expected an object" % cwhere)
+            continue
+        for field in ("wall_ns", "events", "heap_allocs"):
+            if not is_count(cat.get(field)):
+                err("%s.%s: expected a non-negative integer, got %r"
+                    % (cwhere, field, cat.get(field)))
+        hist = cat.get("ns_hist")
+        if not isinstance(hist, list) \
+                or len(hist) != HOSTPROF_NS_BUCKETS \
+                or not all(is_count(b) for b in hist):
+            err("%s.ns_hist: expected %d non-negative integers"
+                % (cwhere, HOSTPROF_NS_BUCKETS))
+        elif is_count(cat.get("events")) and sum(hist) != cat["events"]:
+            err("%s: ns_hist sums to %d but events is %d"
+                % (cwhere, sum(hist), cat["events"]))
+        if is_count(cat.get("wall_ns")):
+            wall_sum += cat["wall_ns"]
+
+    # Category consistency: the attributed total is exactly the sum of
+    # per-category wall time, and coverage is its (clamped) share of
+    # the total window.
+    if is_count(hp.get("attributed_wall_ns")) \
+            and hp["attributed_wall_ns"] != wall_sum:
+        err("%s: attributed_wall_ns %d != per-category sum %d"
+            % (where, hp["attributed_wall_ns"], wall_sum))
+    if is_count(hp.get("total_wall_ns")) and hp["total_wall_ns"] > 0 \
+            and is_count(hp.get("attributed_wall_ns")) \
+            and is_number(coverage):
+        expected = min(1.0, hp["attributed_wall_ns"]
+                       / hp["total_wall_ns"])
+        if abs(coverage - expected) > COVERAGE_TOLERANCE:
+            err("%s.coverage: %r inconsistent with "
+                "attributed/total (%r)" % (where, coverage, expected))
+
+
+def check_hostprof(doc):
+    errors = []
+    check_build_info("build_info", doc.get("build_info"), errors)
+    check_hostprof_body("hostprof", doc, errors)
+    return errors
+
+
 def check_bench(doc):
     errors = []
 
     def err(msg):
         errors.append(msg)
 
+    check_build_info("build_info", doc.get("build_info"), errors)
     if not isinstance(doc.get("limit_ms"), (int, float)) \
             or doc.get("limit_ms") <= 0:
         err("limit_ms: expected a positive number")
     if not isinstance(doc.get("smoke"), bool):
         err("smoke: expected a boolean")
+    if not is_count(doc.get("inject_spin_ns")):
+        err("inject_spin_ns: expected a non-negative integer, got %r"
+            % (doc.get("inject_spin_ns"),))
     # "jobs" (worker threads used) arrived with the parallel runner;
     # tolerate its absence so older documents stay valid.
     if "jobs" in doc:
@@ -100,6 +212,10 @@ def check_bench(doc):
             value = run.get(field)
             if is_number(value) and value < 0:
                 err("%s.%s: %r is negative" % (where, field, value))
+
+        if "hostprof" in run:
+            check_hostprof_body("%s.hostprof" % where, run["hostprof"],
+                                errors)
 
         cp = run.get("critical_path_us")
         if isinstance(cp, dict):
@@ -232,6 +348,7 @@ def check_serve(doc):
     def err(msg):
         errors.append(msg)
 
+    check_build_info("build_info", doc.get("build_info"), errors)
     if not is_count(doc.get("seed")):
         err("seed: expected a non-negative integer")
     if not is_number(doc.get("horizon_ms")) or doc.get("horizon_ms") <= 0:
@@ -425,6 +542,7 @@ def check_trace(doc):
     def err(msg):
         errors.append(msg)
 
+    check_build_info("build_info", doc.get("build_info"), errors)
     if not is_count(doc.get("seed")):
         err("seed: expected a non-negative integer")
     if not is_number(doc.get("horizon_ms")) or doc.get("horizon_ms") <= 0:
@@ -503,6 +621,7 @@ def check_pressure(doc):
     def err(msg):
         errors.append(msg)
 
+    check_build_info("build_info", doc.get("build_info"), errors)
     end_us = doc.get("end_us")
     if not is_number(end_us) or end_us < 0:
         err("end_us: expected a non-negative number")
@@ -628,6 +747,7 @@ CHECKERS = {
     "relief-serve-v1": check_serve,
     "relief-trace-v1": check_trace,
     "relief-pressure-v1": check_pressure,
+    "relief-hostprof-v1": check_hostprof,
 }
 
 
@@ -644,11 +764,50 @@ def check(doc):
 
 # --- self test -----------------------------------------------------------
 
+GOOD_BUILD_INFO = {
+    "git_sha": "0123456789ab",
+    "compiler_id": "GNU",
+    "compiler_version": "12.2.0",
+    "build_type": "Release",
+    "cxx_flags": "-O3 -DNDEBUG",
+}
+
+
+def good_hostprof_category(wall_ns=0, events=0, heap_allocs=0):
+    hist = [0] * HOSTPROF_NS_BUCKETS
+    if events:
+        hist[5] = events
+    return {"wall_ns": wall_ns, "events": events,
+            "heap_allocs": heap_allocs, "ns_hist": hist}
+
+
+GOOD_HOSTPROF_BODY = {
+    "total_wall_ns": 1000000,
+    "attributed_wall_ns": 950000,
+    "coverage": 0.95,
+    "categories": {
+        "other": good_hostprof_category(wall_ns=150000),
+        "sched": good_hostprof_category(wall_ns=300000, events=40,
+                                        heap_allocs=2),
+        "dma": good_hostprof_category(wall_ns=250000, events=80),
+        "mem": good_hostprof_category(wall_ns=100000),
+        "interconnect": good_hostprof_category(wall_ns=50000),
+        "kernels": good_hostprof_category(wall_ns=60000, events=30),
+        "stats": good_hostprof_category(wall_ns=40000, events=5),
+        "serve": good_hostprof_category(),
+    },
+}
+
+GOOD_HOSTPROF = dict(GOOD_HOSTPROF_BODY, schema="relief-hostprof-v1",
+                     build_info=GOOD_BUILD_INFO)
+
 GOOD_BENCH = {
     "schema": "relief-bench-v1",
+    "build_info": GOOD_BUILD_INFO,
     "limit_ms": 50.0,
     "smoke": True,
     "jobs": 2,
+    "inject_spin_ns": 0,
     "runs": [{
         "mix": "CDL",
         "policy": "RELIEF",
@@ -660,6 +819,7 @@ GOOD_BENCH = {
         "node_deadline_fraction": 0.9,
         "dag_deadline_fraction": 1.0,
         "critical_path_us": {bucket: 1.0 for bucket in BUCKETS},
+        "hostprof": GOOD_HOSTPROF_BODY,
     }],
 }
 
@@ -708,6 +868,7 @@ GOOD_SERVE_PRESSURE = [
 
 GOOD_SERVE = {
     "schema": "relief-serve-v1",
+    "build_info": GOOD_BUILD_INFO,
     "seed": 1,
     "horizon_ms": 50.0,
     "smoke": False,
@@ -737,6 +898,7 @@ GOOD_PRESSURE_SLOT = {
 
 GOOD_PRESSURE = {
     "schema": "relief-pressure-v1",
+    "build_info": GOOD_BUILD_INFO,
     "end_us": 1000.0,
     "qos_classes": ["default", "realtime"],
     "traffic": list(TRAFFIC_TYPES),
@@ -791,6 +953,7 @@ GOOD_PRESSURE = {
 
 GOOD_TRACE = {
     "schema": "relief-trace-v1",
+    "build_info": GOOD_BUILD_INFO,
     "seed": 1,
     "horizon_ms": 20.0,
     "ok_fraction": 0.25,
@@ -926,8 +1089,41 @@ def self_test():
            False, "bench fraction outside [0, 1]")
     expect(mutate(GOOD_BENCH, ["runs", 0, "critical_path_us", "compute"],
                   Ellipsis), False, "bench missing breakdown bucket")
+    expect(mutate(GOOD_BENCH, ["build_info"], Ellipsis), False,
+           "bench missing build_info")
+    expect(mutate(GOOD_BENCH, ["build_info", "git_sha"], ""), False,
+           "bench empty git sha")
+    expect(mutate(GOOD_BENCH, ["inject_spin_ns"], -5), False,
+           "bench negative inject_spin_ns")
+    expect(mutate(GOOD_BENCH, ["runs", 0, "hostprof"], Ellipsis), True,
+           "bench run without hostprof (not --host-profile)")
+    expect(mutate(GOOD_BENCH,
+                  ["runs", 0, "hostprof", "coverage"], 1.2),
+           False, "bench embedded hostprof coverage outside [0, 1]")
+
+    expect(GOOD_HOSTPROF, True, "good hostprof doc")
+    expect(mutate(GOOD_HOSTPROF, ["build_info"], Ellipsis), False,
+           "hostprof missing build_info")
+    expect(mutate(GOOD_HOSTPROF, ["coverage"], -0.1), False,
+           "hostprof coverage below zero")
+    expect(mutate(GOOD_HOSTPROF, ["attributed_wall_ns"], 900000),
+           False, "hostprof attributed != per-category sum")
+    expect(mutate(GOOD_HOSTPROF, ["coverage"], 0.5), False,
+           "hostprof coverage inconsistent with counters")
+    expect(mutate(GOOD_HOSTPROF, ["categories", "dma"], Ellipsis),
+           False, "hostprof missing category")
+    expect(mutate(GOOD_HOSTPROF, ["categories", "serve", "wall_ns"],
+                  -1), False, "hostprof negative category wall")
+    expect(mutate(GOOD_HOSTPROF,
+                  ["categories", "sched", "ns_hist"], [0] * 10),
+           False, "hostprof wrong histogram length")
+    expect(mutate(GOOD_HOSTPROF,
+                  ["categories", "sched", "events"], 99),
+           False, "hostprof events != histogram sum")
 
     expect(mutate(GOOD_SERVE, ["seed"], -1), False, "serve negative seed")
+    expect(mutate(GOOD_SERVE, ["build_info"], Ellipsis), False,
+           "serve missing build_info")
     expect(mutate(GOOD_SERVE, ["horizon_ms"], 0), False,
            "serve zero horizon")
     expect(mutate(GOOD_SERVE, ["capacity_rps"], None), True,
@@ -969,6 +1165,8 @@ def self_test():
            False, "serve pressure negative wait")
 
     expect(GOOD_PRESSURE, True, "good pressure doc")
+    expect(mutate(GOOD_PRESSURE, ["build_info", "compiler_id"], ""),
+           False, "pressure empty compiler id")
     expect(mutate(GOOD_PRESSURE, ["end_us"], -1), False,
            "pressure negative end_us")
     expect(mutate(GOOD_PRESSURE, ["qos_classes"], ["realtime"]), False,
@@ -1001,6 +1199,8 @@ def self_test():
            False, "pressure negative transfer count")
 
     expect(GOOD_TRACE, True, "good trace doc")
+    expect(mutate(GOOD_TRACE, ["build_info"], None), False,
+           "trace null build_info")
     expect(mutate(GOOD_TRACE, ["ok_fraction"], 1.5), False,
            "trace ok_fraction outside [0, 1]")
     expect(mutate(GOOD_TRACE, ["sampling", "dropped"], 7), False,
@@ -1054,7 +1254,7 @@ def main(argv):
         print("schema violation: %s" % error, file=sys.stderr)
     if errors:
         return 1
-    for unit in ("runs", "requests", "resources"):
+    for unit in ("runs", "requests", "resources", "categories"):
         if unit in doc:
             break
     print("%s: schema-valid %s (%d %s)"

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Assert relief_bench's hostprof *structure* is jobs-invariant.
+
+Runs `relief_bench --smoke --host-profile` once with --jobs 1 and once
+with --jobs 4 and requires the two relief-bench-v1 documents to agree
+on structure: the same (mix, policy) cells in the same order, and for
+each cell the same hostprof key set, the same category names in the
+same order, and the same histogram shape. Timings differ run to run by
+construction, so values are deliberately NOT compared — this gate
+catches the worker-parallel path dropping or reordering attribution
+state, not noise.
+
+Usage: check_hostprof_invariance.py PATH_TO_RELIEF_BENCH
+
+Exits 0 when the structures match, 1 with a diagnostic otherwise.
+Python standard library only.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def bench_structure(bench_path, jobs, out_dir):
+    out = os.path.join(out_dir, "bench_jobs%d.json" % jobs)
+    subprocess.run(
+        [bench_path, "--smoke", "--host-profile", "--jobs", str(jobs),
+         "--out", out],
+        check=True, stdout=subprocess.DEVNULL)
+    with open(out, encoding="utf-8") as handle:
+        doc = json.load(handle)
+
+    structure = {
+        "schema": doc.get("schema"),
+        "doc_keys": sorted(doc),
+        "build_info_keys": sorted(doc.get("build_info", {})),
+        "runs": [],
+    }
+    for run in doc.get("runs", []):
+        hostprof = run.get("hostprof", {})
+        categories = hostprof.get("categories", {})
+        structure["runs"].append({
+            "mix": run.get("mix"),
+            "policy": run.get("policy"),
+            "run_keys": sorted(run),
+            "hostprof_keys": sorted(hostprof),
+            # Category order is part of the schema contract.
+            "categories": list(categories),
+            "category_keys": [sorted(cat)
+                              for cat in categories.values()],
+            "hist_lens": [len(cat.get("ns_hist", []))
+                          for cat in categories.values()],
+        })
+    return structure
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: check_hostprof_invariance.py RELIEF_BENCH",
+              file=sys.stderr)
+        return 1
+    bench = argv[1]
+    if not os.access(bench, os.X_OK):
+        print("error: %s is not executable" % bench, file=sys.stderr)
+        return 1
+    with tempfile.TemporaryDirectory() as out_dir:
+        jobs1 = bench_structure(bench, 1, out_dir)
+        jobs4 = bench_structure(bench, 4, out_dir)
+    if jobs1 != jobs4:
+        print("hostprof structure differs between --jobs 1 and "
+              "--jobs 4:", file=sys.stderr)
+        print("--jobs 1: %s" % json.dumps(jobs1, indent=2),
+              file=sys.stderr)
+        print("--jobs 4: %s" % json.dumps(jobs4, indent=2),
+              file=sys.stderr)
+        return 1
+    print("hostprof structure is jobs-invariant "
+          "(%d cells)" % len(jobs1["runs"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -17,12 +17,22 @@ fi
 mkdir -p "$RESULTS_DIR/csv"
 export RELIEF_CSV_DIR="$RESULTS_DIR/csv"
 
+# `set -o pipefail` above makes the tee pipelines below fail the
+# script when a bench itself fails, not just when tee does.
+ran=0
 for bench in "$BUILD_DIR"/bench/*; do
     [ -f "$bench" ] && [ -x "$bench" ] || continue
     name="$(basename "$bench")"
     echo "=== $name ==="
     "$bench" | tee "$RESULTS_DIR/$name.txt"
     echo
+    ran=$((ran + 1))
 done
+
+if [ "$ran" = 0 ]; then
+    echo "error: no executable benches in $BUILD_DIR/bench;" >&2
+    echo "build first: cmake -B $BUILD_DIR && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+fi
 
 echo "console outputs in $RESULTS_DIR/, CSV exports in $RESULTS_DIR/csv/"

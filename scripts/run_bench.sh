@@ -10,10 +10,17 @@
 # runs. --jobs N executes the matrix points on N worker threads
 # (results are identical for any N; see docs/performance.md). Outputs
 # land in out-dir (default bench-results/):
-#   BENCH_relief.json     relief-bench-v1 document (schema-checked)
+#   BENCH_relief.json     relief-bench-v1 document (schema-checked),
+#                         with per-cell host-time attribution embedded
 #   trace_CDL.json        Chrome/Perfetto trace of a CDL run
 #   PRESSURE_relief.json  relief-pressure-v1 attribution ledger dump
 #                         of the traced run (schema-checked)
+#   HOSTPROF_CDL.json     relief-hostprof-v1 host-time attribution of
+#                         the traced run (schema-checked)
+#
+# Every check runs un-piped so its exit status propagates under
+# `set -e`; in particular a relief_compare breach (exit 2) or a schema
+# violation (exit 1) fails this script with the same code.
 set -euo pipefail
 
 SMOKE=0
@@ -30,7 +37,7 @@ BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench-results}"
 SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 
-for tool in relief_bench relief_sim; do
+for tool in relief_bench relief_sim relief_compare; do
     if [ ! -x "$BUILD_DIR/tools/$tool" ]; then
         echo "error: $BUILD_DIR/tools/$tool not found; build first:" >&2
         echo "  cmake -B $BUILD_DIR && cmake --build $BUILD_DIR -j" >&2
@@ -38,17 +45,30 @@ for tool in relief_bench relief_sim; do
     fi
 done
 
+CHECKER="$SCRIPT_DIR/check_bench_schema.py"
+if [ ! -f "$CHECKER" ]; then
+    echo "error: schema checker $CHECKER is missing; refusing to" >&2
+    echo "emit unvalidated artifacts" >&2
+    exit 1
+fi
+
 mkdir -p "$OUT_DIR"
 BENCH_JSON="$OUT_DIR/BENCH_relief.json"
 
 if [ "$SMOKE" = 1 ]; then
     "$BUILD_DIR/tools/relief_bench" --smoke --jobs "$JOBS" \
-        --out "$BENCH_JSON"
+        --host-profile --out "$BENCH_JSON"
 else
-    "$BUILD_DIR/tools/relief_bench" --jobs "$JOBS" --out "$BENCH_JSON"
+    "$BUILD_DIR/tools/relief_bench" --jobs "$JOBS" --host-profile \
+        --out "$BENCH_JSON"
 fi
 
-python3 "$SCRIPT_DIR/check_bench_schema.py" "$BENCH_JSON"
+python3 "$CHECKER" "$BENCH_JSON"
+
+# Self-consistency gate: a document must never breach against itself.
+# A non-zero exit (relief_compare exits 2 on breaches) aborts the run.
+"$BUILD_DIR/tools/relief_compare" --diff "$BENCH_JSON" "$BENCH_JSON" \
+    > /dev/null
 
 # A representative trace for the artifact: CDL under RELIEF exercises
 # forwarding, so the flow arrows carry all three edge categories. The
@@ -58,9 +78,11 @@ python3 "$SCRIPT_DIR/check_bench_schema.py" "$BENCH_JSON"
     --banked-memory --pressure-tracks \
     --trace "$OUT_DIR/trace_CDL.json" \
     --pressure-report "$OUT_DIR/PRESSURE_relief.json" \
+    --host-profile "$OUT_DIR/HOSTPROF_CDL.json" \
     > "$OUT_DIR/trace_CDL.log"
 
-python3 "$SCRIPT_DIR/check_bench_schema.py" "$OUT_DIR/PRESSURE_relief.json"
+python3 "$CHECKER" "$OUT_DIR/PRESSURE_relief.json"
+python3 "$CHECKER" "$OUT_DIR/HOSTPROF_CDL.json"
 
 echo "bench outputs in $OUT_DIR/ (BENCH_relief.json," \
-     "PRESSURE_relief.json schema-valid)"
+     "PRESSURE_relief.json, HOSTPROF_CDL.json schema-valid)"

@@ -34,7 +34,7 @@ Accelerator::startCompute(Tick duration, Callback on_done)
     Tick start = now();
     Tick end = start + duration;
     computeBusy_.add(start, end);
-    sim().at(end,
+    sim().at(end, HostCat::Kernels,
              [this, cb = std::move(on_done)]() {
                  tasksExecuted_.add(1);
                  busy_ = false;

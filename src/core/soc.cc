@@ -1,4 +1,5 @@
 #include "core/soc.hh"
+#include "sim/build_info.hh"
 
 #include <algorithm>
 #include <cmath>
@@ -413,7 +414,10 @@ Soc::printLatencyBreakdown(std::ostream &os) const
 void
 Soc::writeStatsJson(std::ostream &os) const
 {
-    os << "{\n  \"schema\": \"relief-stats-v1\",\n  \"stats\": ";
+    HostProfScope prof(HostCat::Stats);
+    os << "{\n  \"schema\": \"relief-stats-v1\",\n  \"build_info\": ";
+    writeBuildInfoJson(os, 2);
+    os << ",\n  \"stats\": ";
     stats_.dumpJsonStats(os, 4);
     os << ",\n  \"apps\": [";
     bool first = true;
@@ -454,6 +458,7 @@ Soc::pressureSummary() const
 void
 Soc::writePressureJson(std::ostream &os, int top_k) const
 {
+    HostProfScope prof(HostCat::Stats);
     ledger_->writeJson(os, endTick_, top_k, pressureSummary(),
                        "relief-pressure-v1");
     os << "\n";
@@ -539,6 +544,20 @@ Soc::addSamplerProbes()
                                        id, sim_.now()));
                                });
         }
+    }
+
+    // Host-time tracks, opt-in via HostProf: lay the simulator's own
+    // wall clock alongside sim time so a Perfetto view shows where a
+    // run's host cost grows. Gated at registration so runs without
+    // --host-profile stay bit-identical (the values are wall-clock
+    // and thus nondeterministic by nature).
+    if (hostProfEnabled()) {
+        sampler_->addProbe("host.wall_ms", [] {
+            return double(hostProfSnapshot().totalWallNs) / 1e6;
+        });
+        sampler_->addProbe("host.attributed_ms", [] {
+            return double(hostProfSnapshot().attributedNs()) / 1e6;
+        });
     }
 }
 

@@ -75,7 +75,7 @@ DmaEngine::launch(std::vector<BandwidthResource *> path,
             " bytes, done at ", timing.end);
 
     outstanding_ += bytes;
-    sim().at(timing.end,
+    sim().at(timing.end, HostCat::Dma,
              [this, bytes, cb = std::move(on_done)]() {
                  outstanding_ -= bytes;
                  if (cb)
@@ -145,7 +145,7 @@ DmaEngine::issueNextChunk(ChunkState *state)
     state->remaining -= n;
     auto timing = reserveTransfer(state->path, now(), n, state->tag);
     fabric_.recordTransfer(timing.start, timing.end, n);
-    sim().at(timing.end,
+    sim().at(timing.end, HostCat::Dma,
              [this, state, n]() {
                  outstanding_ -= n;
                  if (state->remaining > 0) {
@@ -249,7 +249,7 @@ DmaEngine::streamFrom(Scratchpad &producer, PortId producer_port,
     fabric_.recordTransfer(timing.start, timing.end, bytes);
     DPRINTF(Dma, "stream ", bytes, " bytes, done at ", timing.end);
     outstanding_ += bytes;
-    sim().at(timing.end,
+    sim().at(timing.end, HostCat::Dma,
              [this, bytes, cb = std::move(on_done)]() {
                  outstanding_ -= bytes;
                  if (cb)

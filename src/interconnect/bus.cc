@@ -1,5 +1,7 @@
 #include "interconnect/bus.hh"
 
+#include "sim/hostprof.hh"
+
 #include <utility>
 
 #include "sim/logging.hh"
@@ -24,6 +26,7 @@ Bus::registerPort(const std::string &port_name)
 std::vector<BandwidthResource *>
 Bus::path(PortId src, PortId dst)
 {
+    HostProfScope prof(HostCat::Interconnect);
     RELIEF_ASSERT(src >= 0 && src < numPorts(), name(), ": bad src port ",
                   src);
     RELIEF_ASSERT(dst >= 0 && dst < numPorts(), name(), ": bad dst port ",

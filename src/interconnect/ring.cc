@@ -1,5 +1,7 @@
 #include "interconnect/ring.hh"
 
+#include "sim/hostprof.hh"
+
 #include <utility>
 
 #include "sim/logging.hh"
@@ -39,6 +41,7 @@ Ring::hopCount(PortId src, PortId dst) const
 std::vector<BandwidthResource *>
 Ring::path(PortId src, PortId dst)
 {
+    HostProfScope prof(HostCat::Interconnect);
     int n = numPorts();
     RELIEF_ASSERT(src >= 0 && src < n, name(), ": bad src port ", src);
     RELIEF_ASSERT(dst >= 0 && dst < n, name(), ": bad dst port ", dst);

@@ -106,7 +106,7 @@ HardwareManager::submitDag(Dag *dag, Tick when)
                   dag->name());
     Tick submit_cost =
         config_.modelSchedulingLatency ? config_.submitLatency : 0;
-    sim().at(std::max(when, now()) + submit_cost,
+    sim().at(std::max(when, now()) + submit_cost, HostCat::Sched,
              [this, dag]() { beginDag(dag); },
              [this, dag] { return name() + ".submit." + dag->name(); });
 }
@@ -167,7 +167,7 @@ HardwareManager::scheduleReadyNodes(std::vector<Node *> ready)
     }
     Tick done = occupyManager(cost);
 
-    sim().at(done,
+    sim().at(done, HostCat::Sched,
              [this, ready = std::move(ready)]() {
                  SchedContext ctx;
                  ctx.now = now();
@@ -465,6 +465,9 @@ HardwareManager::onComputeDone(AccState &state)
     state.acc->spm().produceOutput(partition);
 
     if (node->fn) {
+        // Functional payloads are real host compute (kernel math),
+        // not scheduler bookkeeping — attribute them separately.
+        HostProfScope prof(HostCat::Kernels);
         std::vector<const std::vector<float> *> inputs;
         inputs.reserve(node->parents.size());
         for (Node *parent : node->parents)
@@ -561,7 +564,7 @@ HardwareManager::handleNodeCompletion(AccState &state, Node *node,
     }
     Tick done = occupyManager(cost);
     AccState *state_ptr = &state;
-    sim().at(done,
+    sim().at(done, HostCat::Sched,
              [this, state_ptr, node, partition,
               ready = std::move(ready)]() {
                  SchedContext ctx;

@@ -1,5 +1,7 @@
 #include "mem/bandwidth_resource.hh"
 
+#include "sim/hostprof.hh"
+
 #include <algorithm>
 #include <utility>
 
@@ -83,6 +85,10 @@ reserveTransfer(const std::vector<BandwidthResource *> &path, Tick now,
                 std::uint64_t bytes, const RequestorTag &tag)
 {
     RELIEF_ASSERT(!path.empty(), "transfer over an empty resource path");
+    // Attribute reservation work (occupancy walk, claims, the ledger
+    // behind them) to the memory system rather than the DMA event
+    // driving it; free when host profiling is off.
+    HostProfScope prof(HostCat::Mem);
 
     Tick start = now;
     Tick latencySum = 0;

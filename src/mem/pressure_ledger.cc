@@ -1,4 +1,5 @@
 #include "mem/pressure_ledger.hh"
+#include "sim/build_info.hh"
 
 #include <algorithm>
 #include <ostream>
@@ -274,8 +275,15 @@ PressureLedger::writeJson(std::ostream &os, Tick end_tick, int top_k,
     RELIEF_ASSERT(sealed_, "pressure ledger not sealed");
 
     os << "{\n";
-    if (schema)
+    if (schema) {
+        // Standalone document: stamp provenance. The embedded form
+        // (the stats document's "pressure" member) inherits its
+        // parent's build_info instead.
         os << "  \"schema\": \"" << schema << "\",\n";
+        os << "  \"build_info\": ";
+        writeBuildInfoJson(os, 2);
+        os << ",\n";
+    }
     os << "  \"end_us\": " << jsonNumber(toUs(end_tick)) << ",\n";
 
     os << "  \"qos_classes\": [";

@@ -60,7 +60,8 @@ BurnRateAlerts::tick()
     // occupancy would keep each other alive forever.
     bool alive = alive_ ? alive_() : !sim().events().empty();
     if (alive)
-        pending_ = sim().after(config_.evalPeriod, [this] { tick(); },
+        pending_ = sim().after(config_.evalPeriod, HostCat::Serve,
+                               [this] { tick(); },
                                "serve.alerts.tick");
 }
 

@@ -385,7 +385,7 @@ ServeDriver::run()
     ran_ = true;
 
     for (std::size_t i = 0; i < schedule_.size(); ++i) {
-        soc_->sim().at(schedule_[i].time,
+        soc_->sim().at(schedule_[i].time, HostCat::Serve,
                        [this, i] { onArrival(i); }, "serve.arrival");
     }
     if (exposition_)

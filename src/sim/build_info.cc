@@ -1,0 +1,78 @@
+#include "sim/build_info.hh"
+
+#include <ostream>
+#include <string>
+
+// CMake supplies these; stray compiles (e.g. tooling) fall back so
+// the artifact still carries a well-formed build_info object.
+#ifndef RELIEF_GIT_SHA
+#define RELIEF_GIT_SHA "unknown"
+#endif
+#ifndef RELIEF_COMPILER_ID
+#define RELIEF_COMPILER_ID "unknown"
+#endif
+#ifndef RELIEF_COMPILER_VERSION
+#define RELIEF_COMPILER_VERSION "unknown"
+#endif
+#ifndef RELIEF_BUILD_TYPE
+#define RELIEF_BUILD_TYPE "unspecified"
+#endif
+#ifndef RELIEF_CXX_FLAGS
+#define RELIEF_CXX_FLAGS ""
+#endif
+
+namespace relief
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const char *s)
+{
+    std::string out;
+    for (; *s; ++s) {
+        switch (*s) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += *s; break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+const char *buildGitSha() { return RELIEF_GIT_SHA; }
+const char *buildCompilerId() { return RELIEF_COMPILER_ID; }
+const char *buildCompilerVersion() { return RELIEF_COMPILER_VERSION; }
+
+const char *
+buildType()
+{
+    return RELIEF_BUILD_TYPE[0] ? RELIEF_BUILD_TYPE : "unspecified";
+}
+
+const char *buildCxxFlags() { return RELIEF_CXX_FLAGS; }
+
+void
+writeBuildInfoJson(std::ostream &os, int indent)
+{
+    std::string pad(std::size_t(indent), ' ');
+    os << "{\n";
+    os << pad << "  \"git_sha\": \"" << jsonEscape(buildGitSha())
+       << "\",\n";
+    os << pad << "  \"compiler_id\": \"" << jsonEscape(buildCompilerId())
+       << "\",\n";
+    os << pad << "  \"compiler_version\": \""
+       << jsonEscape(buildCompilerVersion()) << "\",\n";
+    os << pad << "  \"build_type\": \"" << jsonEscape(buildType())
+       << "\",\n";
+    os << pad << "  \"cxx_flags\": \"" << jsonEscape(buildCxxFlags())
+       << "\"\n";
+    os << pad << "}";
+}
+
+} // namespace relief

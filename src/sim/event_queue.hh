@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "sim/debug.hh"
+#include "sim/hostprof.hh"
 #include "sim/logging.hh"
 #include "sim/ticks.hh"
 
@@ -150,6 +151,13 @@ class EventHandle
     std::uint32_t gen_ = 0;
 };
 
+/** Constrains the catless schedule() overloads so a HostCat argument
+ *  always selects the category-taking forms (a nullary action lambda
+ *  would otherwise let HostCat bind to the action parameter). */
+template <typename F>
+using NotHostCat =
+    std::enable_if_t<!std::is_same_v<std::decay_t<F>, HostCat>>;
+
 /**
  * Min-heap of events ordered by (tick, sequence number).
  */
@@ -175,38 +183,83 @@ class EventQueue
      *    in normal runs.
      *  - std::string: kept only under the Event debug flag (the
      *    argument itself was already built; prefer the lazy form).
+     *
+     * Each form also accepts a HostCat *before* the action
+     * (`schedule(when, HostCat::Dma, action, label)`), attributing
+     * the dispatch's host wall time to that category when HostProf is
+     * enabled (sim/hostprof.hh). Catless events fall in
+     * HostCat::Other. Storing the category is one byte in the slot —
+     * free whether or not profiling runs.
      */
-    template <typename F>
+    template <typename F, typename = NotHostCat<F>>
     EventHandle
     schedule(Tick when, F &&action)
     {
-        return schedule(when, std::forward<F>(action),
+        return schedule(when, HostCat::Other, std::forward<F>(action),
+                        static_cast<const char *>(""));
+    }
+
+    template <typename F, typename = NotHostCat<F>>
+    EventHandle
+    schedule(Tick when, F &&action, const char *label)
+    {
+        return schedule(when, HostCat::Other, std::forward<F>(action),
+                        label);
+    }
+
+    template <typename F, typename = NotHostCat<F>>
+    EventHandle
+    schedule(Tick when, F &&action, std::string label)
+    {
+        return schedule(when, HostCat::Other, std::forward<F>(action),
+                        std::move(label));
+    }
+
+    template <typename F, typename LabelFn,
+              typename = NotHostCat<F>,
+              typename = std::enable_if_t<std::is_invocable_v<LabelFn &>>>
+    EventHandle
+    schedule(Tick when, F &&action, LabelFn &&labelFn)
+    {
+        return schedule(when, HostCat::Other, std::forward<F>(action),
+                        std::forward<LabelFn>(labelFn));
+    }
+
+    template <typename F>
+    EventHandle
+    schedule(Tick when, HostCat cat, F &&action)
+    {
+        return schedule(when, cat, std::forward<F>(action),
                         static_cast<const char *>(""));
     }
 
     template <typename F>
     EventHandle
-    schedule(Tick when, F &&action, const char *label)
+    schedule(Tick when, HostCat cat, F &&action, const char *label)
     {
         if (when < curTick_)
             pastEventPanic(when, label);
         std::uint32_t id = allocSlot();
         Slot &slot = slotRef(id);
         slot.label = label;
-        if (slot.action.emplace(std::forward<F>(action)))
+        slot.cat = static_cast<std::uint8_t>(cat);
+        if (slot.action.emplace(std::forward<F>(action))) {
             ++numHeapCallables_;
+            if (hostProfEnabled())
+                hostProfCountHeapAlloc(cat);
+        }
         pushEntry(when, id);
         return EventHandle(this, id, slot.gen);
     }
 
     template <typename F>
     EventHandle
-    schedule(Tick when, F &&action, std::string label)
+    schedule(Tick when, HostCat cat, F &&action, std::string label)
     {
         if (when < curTick_)
             pastEventPanic(when, label.c_str());
         EventHandle handle =
-            schedule(when, std::forward<F>(action),
+            schedule(when, cat, std::forward<F>(action),
                      static_cast<const char *>(""));
         if (labelsEnabled())
             slotRef(handle.slot_).dynLabel = std::move(label);
@@ -216,12 +269,12 @@ class EventQueue
     template <typename F, typename LabelFn,
               typename = std::enable_if_t<std::is_invocable_v<LabelFn &>>>
     EventHandle
-    schedule(Tick when, F &&action, LabelFn &&labelFn)
+    schedule(Tick when, HostCat cat, F &&action, LabelFn &&labelFn)
     {
         if (when < curTick_)
             pastEventPanic(when, std::string(labelFn()).c_str());
         EventHandle handle =
-            schedule(when, std::forward<F>(action),
+            schedule(when, cat, std::forward<F>(action),
                      static_cast<const char *>(""));
         if (labelsEnabled())
             slotRef(handle.slot_).dynLabel = labelFn();
@@ -273,6 +326,18 @@ class EventQueue
      */
     void setCompactionMinimum(std::size_t n) { compactionMinimum_ = n; }
 
+    /**
+     * Busy-wait this many host ns inside every dispatch. A test hook:
+     * the CI perf gate injects a deliberate per-event slowdown with it
+     * (relief_bench --inject-spin-ns) and requires relief_compare to
+     * flag the regression. Zero (the default) costs one predictable
+     * branch per event.
+     */
+    void setDispatchSpin(std::uint64_t ns) { dispatchSpinNs_ = ns; }
+
+    /** Currently injected per-dispatch spin, in host ns. */
+    std::uint64_t dispatchSpin() const { return dispatchSpinNs_; }
+
   private:
     friend class EventHandle;
 
@@ -287,6 +352,7 @@ class EventQueue
         const char *label = ""; ///< Static-literal label, always kept.
         std::uint32_t gen = 0;  ///< Bumped on fire and on free.
         std::uint32_t nextFree = noSlot;
+        std::uint8_t cat = 0;   ///< HostCat for wall-time attribution.
         bool cancelled = false;
     };
 
@@ -328,6 +394,9 @@ class EventQueue
     void maybeCompact();
     void compact();
 
+    /** Busy-wait for dispatchSpinNs_ host ns (slowdown injection). */
+    void spinDispatch() const;
+
     /** Drop cancelled events from the top of the heap. */
     void skipCancelled() const;
 
@@ -343,6 +412,7 @@ class EventQueue
     mutable std::uint64_t numCancelled_ = 0;
     std::uint64_t numHeapCallables_ = 0;
     std::uint64_t numCompactions_ = 0;
+    std::uint64_t dispatchSpinNs_ = 0;
 };
 
 inline bool

@@ -34,7 +34,9 @@ class Simulator
      * Schedule @p action at absolute tick @p when. The optional label
      * may be a string literal (always kept, free) or a nullary
      * callable returning std::string (evaluated only under the Event
-     * debug flag) — see EventQueue::schedule.
+     * debug flag) — see EventQueue::schedule. A HostCat placed before
+     * the action (`sim.at(when, HostCat::Dma, fn, "label")`) forwards
+     * through and tags the event for host-time attribution.
      */
     template <typename F, typename... Label>
     EventHandle
@@ -64,6 +66,9 @@ class Simulator
 
     /** Direct access to the queue (tests, stats). */
     const EventQueue &events() const { return events_; }
+
+    /** Mutable queue access (dispatch-spin injection, tests). */
+    EventQueue &events() { return events_; }
 
   private:
     EventQueue events_;

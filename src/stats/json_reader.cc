@@ -1,6 +1,7 @@
 #include "stats/json_reader.hh"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -89,12 +90,20 @@ class JsonParser
     [[noreturn]] void
     fail(const std::string &what)
     {
-        // Line number of the current position, for usable messages.
+        // Line and column of the current position, for messages a
+        // user can jump to in an editor.
         int line = 1;
-        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i)
-            if (text_[i] == '\n')
+        int column = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
                 ++line;
-        fatal("JSON parse error at line ", line, ": ", what);
+                column = 1;
+            } else {
+                ++column;
+            }
+        }
+        fatal("JSON parse error at line ", line, ", column ", column,
+              ": ", what);
     }
 
     void
@@ -176,6 +185,7 @@ class JsonParser
     object()
     {
         expect('{');
+        DepthGuard guard(*this);
         JsonValue out;
         out.kind_ = JsonValue::Kind::Object;
         if (consume('}'))
@@ -184,7 +194,10 @@ class JsonParser
             skipSpace();
             std::string key = string();
             expect(':');
-            // Duplicate keys keep the last value, like most readers.
+            // Duplicate keys are defined to keep the LAST value (the
+            // behavior of python's json and most readers): the member
+            // stays at its first position in keys(), but the value is
+            // overwritten in place. Covered by json_reader_test.
             auto it = out.index_.find(key);
             if (it == out.index_.end()) {
                 out.index_[key] = out.array_.size();
@@ -202,6 +215,7 @@ class JsonParser
     array()
     {
         expect('[');
+        DepthGuard guard(*this);
         JsonValue out;
         out.kind_ = JsonValue::Kind::Array;
         if (consume(']'))
@@ -293,11 +307,33 @@ class JsonParser
         out.kind_ = JsonValue::Kind::Number;
         out.number_ =
             std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+        // JSON has no NaN/Infinity; strtod also turns out-of-range
+        // magnitudes (1e999) into inf, which would silently poison
+        // every downstream comparison. Reject both here.
+        if (!std::isfinite(out.number_))
+            fail("number is NaN/Inf or out of double range");
         return out;
     }
 
+    /** Caps recursion so a pathological document (10k open brackets)
+     *  fails with a parse error instead of a stack overflow. */
+    struct DepthGuard
+    {
+        explicit DepthGuard(JsonParser &parser) : parser_(parser)
+        {
+            if (++parser_.depth_ > maxDepth)
+                parser_.fail("nesting depth exceeds " +
+                             std::to_string(maxDepth));
+        }
+        ~DepthGuard() { --parser_.depth_; }
+        JsonParser &parser_;
+    };
+
+    static constexpr int maxDepth = 64;
+
     const std::string &text_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
 };
 
 JsonValue

@@ -1,4 +1,5 @@
 #include "stats/registry.hh"
+#include "sim/build_info.hh"
 
 #include <iomanip>
 #include <utility>
@@ -239,7 +240,9 @@ StatRegistry::dumpJsonStats(std::ostream &os, int indent) const
 void
 StatRegistry::dumpJson(std::ostream &os) const
 {
-    os << "{\n  \"schema\": \"relief-stats-v1\",\n  \"stats\": ";
+    os << "{\n  \"schema\": \"relief-stats-v1\",\n  \"build_info\": ";
+    writeBuildInfoJson(os, 2);
+    os << ",\n  \"stats\": ";
     dumpJsonStats(os, 4);
     os << "\n}\n";
 }

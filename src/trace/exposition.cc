@@ -75,7 +75,8 @@ StatExposition::tick()
     // while the model is alive, or an idle event queue spins forever.
     bool alive = alive_ ? alive_() : !sim().events().empty();
     if (alive)
-        pending_ = sim().after(config_.period, [this] { tick(); },
+        pending_ = sim().after(config_.period, HostCat::Stats,
+                               [this] { tick(); },
                                "exposition.tick");
 }
 

@@ -52,7 +52,8 @@ IntervalSampler::sampleOnce()
     // the sampler would keep an idle event queue spinning forever.
     bool alive = alive_ ? alive_() : !sim().events().empty();
     if (alive)
-        pending_ = sim().after(period_, [this] { sampleOnce(); },
+        pending_ = sim().after(period_, HostCat::Stats,
+                               [this] { sampleOnce(); },
                                "sampler.tick");
 }
 

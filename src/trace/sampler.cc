@@ -1,4 +1,5 @@
 #include "trace/sampler.hh"
+#include "sim/build_info.hh"
 
 #include "core/rng.hh"
 #include "sim/logging.hh"
@@ -61,6 +62,9 @@ writeTraceDocJson(std::ostream &os,
                   std::uint64_t seed, double horizon_ms)
 {
     os << "{\n  \"schema\": \"relief-trace-v1\",\n"
+       << "  \"build_info\": ";
+    writeBuildInfoJson(os, 2);
+    os << ",\n"
        << "  \"seed\": " << seed << ",\n"
        << "  \"horizon_ms\": " << jsonNumber(horizon_ms) << ",\n"
        << "  \"ok_fraction\": " << jsonNumber(ok_fraction) << ",\n"

@@ -67,6 +67,66 @@ TEST(JsonReaderTest, KindMismatchesAreFatal)
     EXPECT_THROW(doc.at(0), FatalError);
 }
 
+TEST(JsonReaderTest, RejectsNonFiniteNumbers)
+{
+    // JSON has no NaN/Infinity literals, and strtod would otherwise
+    // quietly return inf for out-of-range magnitudes like 1e999.
+    EXPECT_THROW(JsonValue::parse("1e999"), FatalError);
+    EXPECT_THROW(JsonValue::parse("-1e999"), FatalError);
+    EXPECT_THROW(JsonValue::parse(R"({"x": 1e400})"), FatalError);
+    EXPECT_THROW(JsonValue::parse("NaN"), FatalError);
+    EXPECT_THROW(JsonValue::parse("Infinity"), FatalError);
+    EXPECT_THROW(JsonValue::parse("-Infinity"), FatalError);
+    // Large-but-representable values still parse.
+    EXPECT_DOUBLE_EQ(JsonValue::parse("1e308").asNumber(), 1e308);
+}
+
+TEST(JsonReaderTest, ErrorsCarryLineAndColumn)
+{
+    try {
+        JsonValue::parse("{\n  \"ok\": 1,\n  \"bad\": \"unterminated");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        std::string what = err.what();
+        EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+        EXPECT_NE(what.find("column"), std::string::npos) << what;
+        EXPECT_NE(what.find("unterminated string"), std::string::npos)
+            << what;
+    }
+}
+
+TEST(JsonReaderTest, CapsNestingDepth)
+{
+    // 64 levels are fine; 100 must fail with a parse error rather
+    // than a stack overflow.
+    auto nested = [](int depth) {
+        std::string doc(std::size_t(depth), '[');
+        doc += "1";
+        doc.append(std::size_t(depth), ']');
+        return doc;
+    };
+    EXPECT_NO_THROW(JsonValue::parse(nested(60)));
+    try {
+        JsonValue::parse(nested(100));
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("nesting depth"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(JsonReaderTest, DuplicateKeysKeepLastValue)
+{
+    // Defined behavior: last value wins, key keeps its first position.
+    JsonValue doc =
+        JsonValue::parse(R"({"a": 1, "b": 2, "a": 3})");
+    ASSERT_EQ(doc.keys().size(), 2u);
+    EXPECT_EQ(doc.keys()[0], "a");
+    EXPECT_EQ(doc.keys()[1], "b");
+    EXPECT_DOUBLE_EQ(doc.at("a").asNumber(), 3.0);
+}
+
 TEST(JsonReaderTest, RoundTripsAPressureDocument)
 {
     // The shape relief_compare --diff consumes, in miniature.

@@ -142,6 +142,47 @@ TEST(HistogramQuantileTest, AllEqualSamplesCollapseToThatValue)
         EXPECT_DOUBLE_EQ(h.quantile(q), 6.25) << "q=" << q;
 }
 
+TEST(HistogramQuantileTest, SingleBucketInterpolatesLinearly)
+{
+    // Degenerate binning: every in-range sample lands in the one
+    // bucket, so the estimate is a pure linear ramp across it,
+    // clamped to the observed extremes.
+    Histogram h(0.0, 10.0, 1);
+    h.sample(2.0);
+    h.sample(8.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
+    EXPECT_NEAR(h.quantile(0.5), 5.0, 2.0 + 1e-9);
+}
+
+TEST(HistogramQuantileTest, ZeroBucketRequestClampsToOne)
+{
+    // The constructor guards num_buckets == 0 by allocating a single
+    // bucket instead of dividing by zero.
+    Histogram h(0.0, 10.0, 0);
+    EXPECT_EQ(h.numBuckets(), 1u);
+    h.sample(4.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0);
+}
+
+TEST(HistogramQuantileTest, WeightedSamplesMatchRepeatedSamples)
+{
+    // sample(v, w) must merge into the books exactly like w separate
+    // observations of v.
+    Histogram weighted(0.0, 10.0, 10);
+    Histogram repeated(0.0, 10.0, 10);
+    weighted.sample(3.0, 7);
+    weighted.sample(6.0, 3);
+    for (int i = 0; i < 7; ++i)
+        repeated.sample(3.0);
+    for (int i = 0; i < 3; ++i)
+        repeated.sample(6.0);
+    EXPECT_EQ(weighted.count(), repeated.count());
+    for (double q : {0.1, 0.5, 0.7, 0.9})
+        EXPECT_DOUBLE_EQ(weighted.quantile(q), repeated.quantile(q))
+            << "q=" << q;
+}
+
 TEST(GeomeanTest, MatchesHandComputedValue)
 {
     EXPECT_NEAR(geomean({1.0, 4.0, 16.0}), 4.0, 1e-9);

@@ -45,6 +45,8 @@
 
 #include "core/cli.hh"
 #include "core/relief.hh"
+#include "sim/build_info.hh"
+#include "sim/hostprof.hh"
 #include "stats/json.hh"
 
 using namespace relief;
@@ -65,6 +67,9 @@ struct BenchRun
     /** Mean per-DAG critical-path bucket values (us), plus total. */
     double cpMeanUs[numLatencyBuckets] = {};
     double cpTotalMeanUs = 0.0;
+    /** Host-time attribution for this cell (--host-profile). */
+    bool hasHostProf = false;
+    HostProfSnapshot hostprof;
 
     double eventsPerSec() const
     {
@@ -86,7 +91,7 @@ splitCsv(const std::string &list)
 
 BenchRun
 runOne(const std::string &mix, PolicyKind policy, Tick limit,
-       bool continuous)
+       bool continuous, bool host_profile, std::uint64_t spin_ns)
 {
     BenchRun run;
     run.mix = mix;
@@ -103,10 +108,23 @@ runOne(const std::string &mix, PolicyKind policy, Tick limit,
     Soc soc(config.soc);
     for (AppId app : parseMix(mix))
         soc.submit(buildApp(app, config.app), 0, continuous);
+    if (spin_ns != 0)
+        soc.sim().events().setDispatchSpin(spin_ns);
 
+    // The profiled window is exactly the timed window, so per-cell
+    // coverage relates attributed ns to the same wall time events/s
+    // is computed from. HostProf state is thread-local: parallel
+    // workers meter their own cells without synchronization.
+    if (host_profile)
+        setHostProfEnabled(true);
     auto start = std::chrono::steady_clock::now();
     soc.run(config.timeLimit);
     auto stop = std::chrono::steady_clock::now();
+    if (host_profile) {
+        setHostProfEnabled(false);
+        run.hasHostProf = true;
+        run.hostprof = hostProfSnapshot();
+    }
     run.hostWallS =
         std::chrono::duration<double>(stop - start).count();
 
@@ -128,12 +146,17 @@ runOne(const std::string &mix, PolicyKind policy, Tick limit,
 
 void
 writeBenchJson(std::ostream &os, const std::vector<BenchRun> &runs,
-               Tick limit, bool smoke, int jobs)
+               Tick limit, bool smoke, int jobs,
+               std::uint64_t spin_ns)
 {
     os << "{\n  \"schema\": \"relief-bench-v1\",\n"
+       << "  \"build_info\": ";
+    writeBuildInfoJson(os, 2);
+    os << ",\n"
        << "  \"limit_ms\": " << jsonNumber(toMs(limit)) << ",\n"
        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
        << "  \"jobs\": " << jobs << ",\n"
+       << "  \"inject_spin_ns\": " << spin_ns << ",\n"
        << "  \"runs\": [";
     bool first = true;
     for (const BenchRun &run : runs) {
@@ -161,7 +184,12 @@ writeBenchJson(std::ostream &os, const std::vector<BenchRun> &runs,
                << "\": " << jsonNumber(run.cpMeanUs[b]);
         }
         os << ", \"total\": " << jsonNumber(run.cpTotalMeanUs)
-           << "}\n    }";
+           << "}";
+        if (run.hasHostProf) {
+            os << ",\n      \"hostprof\": ";
+            run.hostprof.writeJson(os, /*standalone=*/false, 6);
+        }
+        os << "\n    }";
     }
     os << "\n  ]\n}\n";
 }
@@ -180,6 +208,8 @@ main(int argc, char **argv)
     bool continuous = false;
     bool smoke = false;
     int jobs = 1;
+    bool host_profile = false;
+    std::uint64_t spin_ns = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -212,6 +242,16 @@ main(int argc, char **argv)
             }
             if (jobs == 0)
                 jobs = defaultParallelJobs();
+        } else if (arg == "--host-profile") {
+            host_profile = true;
+        } else if (arg == "--inject-spin-ns") {
+            long long ns = std::atoll(need_value().c_str());
+            if (ns < 0) {
+                std::cerr << "--inject-spin-ns needs a non-negative"
+                             " value\n";
+                return 1;
+            }
+            spin_ns = std::uint64_t(ns);
         } else if (arg == "--smoke") {
             smoke = true;
             mixes = {"CDL"};
@@ -222,7 +262,8 @@ main(int argc, char **argv)
             std::cout << "usage: relief_bench [--out FILE] "
                          "[--mixes LIST] [--policies LIST] "
                          "[--limit-ms X] [--continuous] [--smoke] "
-                         "[--jobs N]\n";
+                         "[--jobs N] [--host-profile] "
+                         "[--inject-spin-ns NS]\n";
             return 0;
         } else {
             std::cerr << "unknown flag '" << arg << "'\n";
@@ -252,7 +293,7 @@ main(int argc, char **argv)
         runs.resize(points.size());
         parallelFor(points.size(), jobs, [&](std::size_t i) {
             runs[i] = runOne(points[i].mix, points[i].policy, limit,
-                             continuous);
+                             continuous, host_profile, spin_ns);
         });
     } catch (const FatalError &err) {
         std::cerr << err.what() << "\n";
@@ -273,7 +314,7 @@ main(int argc, char **argv)
         std::cerr << "cannot write " << out_path << "\n";
         return 1;
     }
-    writeBenchJson(out, runs, limit, smoke, jobs);
+    writeBenchJson(out, runs, limit, smoke, jobs, spin_ns);
     std::cout << "BENCH JSON written to " << out_path << "\n";
     return 0;
 }

@@ -54,6 +54,7 @@
 #include "core/cli.hh"
 #include "core/relief.hh"
 #include "serve/server.hh"
+#include "sim/build_info.hh"
 #include "sim/debug.hh"
 #include "stats/json.hh"
 
@@ -224,6 +225,9 @@ main(int argc, char **argv)
             if (!out)
                 fatal("cannot write ", out_path);
             out << "{\n  \"schema\": \"relief-serve-v1\",\n"
+                << "  \"build_info\": ";
+            writeBuildInfoJson(out, 2);
+            out << ",\n"
                 << "  \"seed\": " << config.seed << ",\n"
                 << "  \"horizon_ms\": " << jsonNumber(horizon_ms)
                 << ",\n  \"smoke\": false,\n"

@@ -27,6 +27,7 @@
 #include "core/cli.hh"
 #include "core/relief.hh"
 #include "dag/workload_file.hh"
+#include "sim/hostprof.hh"
 
 using namespace relief;
 
@@ -38,6 +39,7 @@ main(int argc, char **argv)
     std::string dot_dir;
     std::string workload_path;
     std::string pressure_path;
+    std::string hostprof_path;
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -51,10 +53,12 @@ main(int argc, char **argv)
             workload_path = argv[++i];
         } else if (arg == "--pressure-report" && i + 1 < argc) {
             pressure_path = argv[++i];
+        } else if (arg == "--host-profile" && i + 1 < argc) {
+            hostprof_path = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             std::cout << cliUsage()
                       << " [--workload FILE] [--trace FILE] [--stats FILE] [--dot DIR]"
-                         " [--pressure-report FILE]\n";
+                         " [--pressure-report FILE] [--host-profile FILE]\n";
             return 0;
         } else {
             args.push_back(arg);
@@ -68,6 +72,13 @@ main(int argc, char **argv)
         std::cerr << err.what() << "\n";
         return 1;
     }
+
+    // Start the host-time meter before the platform exists so model
+    // construction and workload building are inside the measured
+    // window (attributed to "other" via the scope below).
+    if (!hostprof_path.empty())
+        setHostProfEnabled(true);
+    HostProfScope buildProf(HostCat::Other);
 
     Soc soc(config.soc);
     if (!trace_path.empty())
@@ -219,6 +230,23 @@ main(int argc, char **argv)
         }
         std::cout << "\n";
         pressure.print(std::cout);
+    }
+    if (!hostprof_path.empty()) {
+        // Freeze the meter (charging the open root scope up to now),
+        // then export the standalone relief-hostprof-v1 document.
+        setHostProfEnabled(false);
+        HostProfSnapshot snap = hostProfSnapshot();
+        std::ofstream out(hostprof_path);
+        if (!out) {
+            std::cerr << "cannot write host profile to " << hostprof_path
+                      << "\n";
+            return 1;
+        }
+        snap.writeJson(out, /*standalone=*/true);
+        out << "\n";
+        std::cout << "host profile written to " << hostprof_path
+                  << " (coverage "
+                  << Table::pct(snap.coverage()) << "%)\n";
     }
     return 0;
 }
