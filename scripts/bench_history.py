@@ -1,14 +1,15 @@
 #!/usr/bin/env python3
 """Maintain and check the BENCH_HISTORY.jsonl performance trajectory.
 
-Each `append` distills one relief-bench-v1 document into a single
-JSONL line (timestamp, build_info, per-run events/s and coverage), so
-the history stays a flat, diffable file that any tooling can read
-line by line. `check` then flags step regressions: for every
-(mix, policy) series, the newest events_per_sec is compared against
-the median of the preceding window — the same noise discipline
-relief_compare applies across repeat runs (docs/performance.md §
-noise-aware gating).
+Each `append` distills one relief-bench-v1 document (timestamp,
+build_info, per-run events/s and coverage) or relief-kernels-v1
+document (per-kernel SIMD throughput and speedup) into a single JSONL
+line, so the history stays a flat, diffable file that any tooling can
+read line by line. `check` then flags step regressions: for every
+(mix, policy) events/s series and every (kernel, isa) throughput
+series, the newest value is compared against the median of the
+preceding window — the same noise discipline relief_compare applies
+across repeat runs (docs/performance.md § noise-aware gating).
 
 Usage:
   bench_history.py append BENCH.json [--history FILE] [--note STR]
@@ -47,11 +48,37 @@ def load_history(path):
     return entries
 
 
+def distill_kernels(doc, note):
+    entry = {
+        "timestamp": int(time.time()),
+        "schema": "relief-kernels-v1",
+        "build_info": doc.get("build_info", {}),
+        "smoke": doc.get("smoke"),
+        "isa": doc.get("isa"),
+        "inject_spin_ns": 0,
+        "geomean_speedup": doc.get("geomean_speedup"),
+        "runs": [],
+    }
+    if note:
+        entry["note"] = note
+    for run in doc.get("runs", []):
+        entry["runs"].append({
+            "kernel": run["kernel"],
+            "unit": run["unit"],
+            "scalar": run["scalar"],
+            "simd": run["simd"],
+            "speedup": run["speedup"],
+        })
+    return entry
+
+
 def distill(doc, note):
+    if doc.get("schema") == "relief-kernels-v1":
+        return distill_kernels(doc, note)
     if doc.get("schema") != "relief-bench-v1":
         sys.exit(
-            "append expects a relief-bench-v1 document, got schema "
-            f"{doc.get('schema')!r}"
+            "append expects a relief-bench-v1 or relief-kernels-v1 "
+            f"document, got schema {doc.get('schema')!r}"
         )
     entry = {
         "timestamp": int(time.time()),
@@ -104,12 +131,27 @@ def cmd_append(args):
 
 
 def series(entries):
-    """{(mix, policy): [events_per_sec in history order]}"""
+    """{series key: {"unit", "scale", "values" in history order}}.
+
+    Bench entries contribute one (mix, policy) events/s series per
+    run; kernels entries contribute one (kernel, isa) SIMD-throughput
+    series per run. Units only affect how `check` prints values.
+    """
     out = {}
+
+    def add(key, value, unit, scale):
+        slot = out.setdefault(key, {"unit": unit, "scale": scale,
+                                    "values": []})
+        slot["values"].append(value)
+
     for entry in entries:
         for run in entry.get("runs", []):
-            key = (run["mix"], run["policy"])
-            out.setdefault(key, []).append(run["events_per_sec"])
+            if "kernel" in run:
+                add((run["kernel"], entry.get("isa", "?")),
+                    run["simd"], run.get("unit", "Melem/s"), 1.0)
+            else:
+                add((run["mix"], run["policy"]),
+                    run["events_per_sec"], "M ev/s", 1e6)
     return out
 
 
@@ -122,7 +164,8 @@ def cmd_check(args):
         )
         return 0
     regressed = []
-    for (mix, policy), values in sorted(series(entries).items()):
+    for (first, second), slot in sorted(series(entries).items()):
+        values = slot["values"]
         if len(values) < args.min_entries:
             continue
         latest = values[-1]
@@ -132,13 +175,14 @@ def cmd_check(args):
             continue
         drop_pct = (baseline - latest) / baseline * 100.0
         verdict = "REGRESSED" if drop_pct > args.max_drop_pct else "ok"
+        unit, scale = slot["unit"], slot["scale"]
         print(
-            f"{mix}/{policy}: latest {latest / 1e6:.2f} M ev/s vs "
-            f"median-of-{len(window)} {baseline / 1e6:.2f} M ev/s "
+            f"{first}/{second}: latest {latest / scale:.2f} {unit} vs "
+            f"median-of-{len(window)} {baseline / scale:.2f} {unit} "
             f"({drop_pct:+.1f}% drop) {verdict}"
         )
         if verdict == "REGRESSED":
-            regressed.append(f"{mix}/{policy}")
+            regressed.append(f"{first}/{second}")
     if regressed:
         print(
             f"step regression in {len(regressed)} series: "
@@ -154,7 +198,8 @@ def main(argv):
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_append = sub.add_parser("append", help="append one bench run")
-    p_append.add_argument("bench", help="relief-bench-v1 JSON file")
+    p_append.add_argument(
+        "bench", help="relief-bench-v1 or relief-kernels-v1 JSON file")
     p_append.add_argument("--history", default=DEFAULT_HISTORY)
     p_append.add_argument("--note", default="", help="free-form tag")
     p_append.set_defaults(func=cmd_append)

@@ -14,11 +14,15 @@ the benches emit:
     pressure attribution ledger) — documented in docs/observability.md
   - relief-hostprof-v1 (relief_sim --host-profile: host wall-time
     attribution by category) — documented in docs/observability.md §11
+  - relief-kernels-v1 (tools/relief_kernel_bench: per-kernel scalar
+    vs SIMD throughput and bit-identity) — documented in
+    docs/performance.md
 
-Schema family v5: every top-level document carries a "build_info"
-object (git sha, compiler, build type, flags) identifying the binary
-that produced it, relief-bench-v1 gained "inject_spin_ns" and optional
-per-run "hostprof" objects, and relief-hostprof-v1 is new.
+Schema family v6: relief-kernels-v1 is new (the SIMD kernel engine's
+microbenchmark document). v5 added the "build_info" provenance object
+(git sha, compiler, build type, flags) every top-level document
+carries, relief-bench-v1's "inject_spin_ns" and optional per-run
+"hostprof" objects, and relief-hostprof-v1.
 
 Dependency-free (Python standard library only) so CI and developers can
 run it anywhere:
@@ -742,12 +746,98 @@ def check_pressure(doc):
     return errors
 
 
+KERNEL_ISAS = ("scalar", "sse4.2", "avx2", "neon")
+
+KERNEL_UNITS = ("MPix/s", "Melem/s")
+
+# Throughput ratios are emitted with ~6 significant digits; allow
+# rounding slack when cross-checking speedup against scalar/simd.
+SPEEDUP_TOLERANCE = 1e-3
+
+
+def check_kernels(doc):
+    """Validate a relief-kernels-v1 kernel microbenchmark document."""
+    errors = []
+
+    def err(msg):
+        errors.append(msg)
+
+    check_build_info("build_info", doc.get("build_info"), errors)
+    if doc.get("isa") not in KERNEL_ISAS:
+        err("isa: expected one of %s, got %r"
+            % (list(KERNEL_ISAS), doc.get("isa")))
+    lane_width = doc.get("lane_width")
+    if not is_count(lane_width) or lane_width < 1:
+        err("lane_width: expected a positive integer, got %r"
+            % (lane_width,))
+    if not isinstance(doc.get("smoke"), bool):
+        err("smoke: expected a boolean")
+    for field in ("width", "height"):
+        value = doc.get(field)
+        if not is_count(value) or value < 1:
+            err("%s: expected a positive integer, got %r"
+                % (field, value))
+
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        err("runs: expected a non-empty array")
+        return errors
+
+    speedups = []
+    for i, run in enumerate(runs):
+        where = "runs[%d]" % i
+        if not isinstance(run, dict):
+            err("%s: expected an object" % where)
+            continue
+        if not isinstance(run.get("kernel"), str) or not run.get("kernel"):
+            err("%s.kernel: expected a non-empty string" % where)
+        if run.get("unit") not in KERNEL_UNITS:
+            err("%s.unit: expected one of %s, got %r"
+                % (where, list(KERNEL_UNITS), run.get("unit")))
+        if not is_count(run.get("reps")) or run.get("reps") < 1:
+            err("%s.reps: expected a positive integer, got %r"
+                % (where, run.get("reps")))
+        for field in ("scalar", "simd", "speedup"):
+            value = run.get(field)
+            if not is_number(value) or value < 0:
+                err("%s.%s: expected a non-negative number, got %r"
+                    % (where, field, value))
+        if not isinstance(run.get("identical"), bool):
+            err("%s.identical: expected a boolean" % where)
+        # Speedup consistency: speedup is simd/scalar of this run.
+        if all(is_number(run.get(f)) for f in ("scalar", "simd",
+                                               "speedup")) \
+                and run["scalar"] > 0:
+            expected = run["simd"] / run["scalar"]
+            if abs(run["speedup"] - expected) \
+                    > SPEEDUP_TOLERANCE * max(expected, 1.0):
+                err("%s.speedup: %r inconsistent with simd/scalar (%r)"
+                    % (where, run["speedup"], expected))
+            speedups.append(run["speedup"])
+
+    geomean = doc.get("geomean_speedup")
+    if not is_number(geomean) or geomean < 0:
+        err("geomean_speedup: expected a non-negative number, got %r"
+            % (geomean,))
+    elif speedups and len(speedups) == len(runs):
+        product = 1.0
+        for s in speedups:
+            product *= max(s, 1e-12)
+        expected = product ** (1.0 / len(speedups))
+        if abs(geomean - expected) > SPEEDUP_TOLERANCE * max(expected,
+                                                            1.0):
+            err("geomean_speedup: %r inconsistent with per-run "
+                "speedups (%r)" % (geomean, expected))
+    return errors
+
+
 CHECKERS = {
     "relief-bench-v1": check_bench,
     "relief-serve-v1": check_serve,
     "relief-trace-v1": check_trace,
     "relief-pressure-v1": check_pressure,
     "relief-hostprof-v1": check_hostprof,
+    "relief-kernels-v1": check_kernels,
 }
 
 
@@ -949,6 +1039,26 @@ GOOD_PRESSURE = {
             "contenders": [],
         },
     ],
+}
+
+GOOD_KERNELS = {
+    "schema": "relief-kernels-v1",
+    "build_info": GOOD_BUILD_INFO,
+    "isa": "avx2",
+    "lane_width": 8,
+    "smoke": True,
+    "width": 96,
+    "height": 64,
+    "runs": [
+        {"kernel": "conv5x5", "unit": "MPix/s", "reps": 16,
+         "scalar": 100.0, "simd": 500.0, "speedup": 5.0,
+         "identical": True},
+        {"kernel": "elem_add", "unit": "Melem/s", "reps": 32,
+         "scalar": 1000.0, "simd": 4000.0, "speedup": 4.0,
+         "identical": True},
+    ],
+    # geomean of 5.0 and 4.0
+    "geomean_speedup": 4.47213595499958,
 }
 
 GOOD_TRACE = {
@@ -1197,6 +1307,30 @@ def self_test():
     expect(mutate(GOOD_PRESSURE,
                   ["resources", 0, "contenders", 1, "transfers"], -1),
            False, "pressure negative transfer count")
+
+    expect(GOOD_KERNELS, True, "good kernels doc")
+    expect(mutate(GOOD_KERNELS, ["build_info"], Ellipsis), False,
+           "kernels missing build_info")
+    expect(mutate(GOOD_KERNELS, ["isa"], "avx512"), False,
+           "kernels unknown isa")
+    expect(mutate(GOOD_KERNELS, ["lane_width"], 0), False,
+           "kernels zero lane width")
+    expect(mutate(GOOD_KERNELS, ["width"], -1), False,
+           "kernels negative image width")
+    expect(mutate(GOOD_KERNELS, ["runs"], []), False,
+           "kernels empty runs")
+    expect(mutate(GOOD_KERNELS, ["runs", 0, "kernel"], ""), False,
+           "kernels empty kernel name")
+    expect(mutate(GOOD_KERNELS, ["runs", 0, "unit"], "GB/s"), False,
+           "kernels unknown unit")
+    expect(mutate(GOOD_KERNELS, ["runs", 0, "scalar"], -1.0), False,
+           "kernels negative throughput")
+    expect(mutate(GOOD_KERNELS, ["runs", 0, "speedup"], 9.0), False,
+           "kernels speedup inconsistent with simd/scalar")
+    expect(mutate(GOOD_KERNELS, ["runs", 1, "identical"], "yes"),
+           False, "kernels non-boolean identical")
+    expect(mutate(GOOD_KERNELS, ["geomean_speedup"], 2.0), False,
+           "kernels geomean inconsistent with per-run speedups")
 
     expect(GOOD_TRACE, True, "good trace doc")
     expect(mutate(GOOD_TRACE, ["build_info"], None), False,

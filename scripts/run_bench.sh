@@ -3,13 +3,16 @@
 # record a Perfetto trace (spans + counters + dependency-edge flow
 # arrows) of a representative run alongside it.
 #
-# Usage: scripts/run_bench.sh [--smoke] [--jobs N] [build-dir] [out-dir]
+# Usage: scripts/run_bench.sh [--smoke] [--jobs N] [--kernels]
+#                              [build-dir] [out-dir]
 #
 # --smoke runs the tiny CI matrix (one mix, two policies, 5 ms) so the
 # whole job stays under a minute; without it the full default matrix
 # runs. --jobs N executes the matrix points on N worker threads
-# (results are identical for any N; see docs/performance.md). Outputs
-# land in out-dir (default bench-results/):
+# (results are identical for any N; see docs/performance.md).
+# --kernels additionally runs the SIMD kernel microbenchmark
+# (tools/relief_kernel_bench) and schema-checks + self-diffs its
+# document. Outputs land in out-dir (default bench-results/):
 #   BENCH_relief.json     relief-bench-v1 document (schema-checked),
 #                         with per-cell host-time attribution embedded
 #   trace_CDL.json        Chrome/Perfetto trace of a CDL run
@@ -17,6 +20,8 @@
 #                         of the traced run (schema-checked)
 #   HOSTPROF_CDL.json     relief-hostprof-v1 host-time attribution of
 #                         the traced run (schema-checked)
+#   KERNELS_relief.json   relief-kernels-v1 scalar-vs-SIMD kernel
+#                         throughput (--kernels only, schema-checked)
 #
 # Every check runs un-piped so its exit status propagates under
 # `set -e`; in particular a relief_compare breach (exit 2) or a schema
@@ -25,10 +30,12 @@ set -euo pipefail
 
 SMOKE=0
 JOBS=1
+KERNELS=0
 while :; do
     case "${1:-}" in
         --smoke) SMOKE=1; shift ;;
         --jobs) JOBS="${2:?--jobs needs a value}"; shift 2 ;;
+        --kernels) KERNELS=1; shift ;;
         *) break ;;
     esac
 done
@@ -83,6 +90,23 @@ python3 "$CHECKER" "$BENCH_JSON"
 
 python3 "$CHECKER" "$OUT_DIR/PRESSURE_relief.json"
 python3 "$CHECKER" "$OUT_DIR/HOSTPROF_CDL.json"
+
+if [ "$KERNELS" = 1 ]; then
+    KERNELS_JSON="$OUT_DIR/KERNELS_relief.json"
+    if [ ! -x "$BUILD_DIR/tools/relief_kernel_bench" ]; then
+        echo "error: $BUILD_DIR/tools/relief_kernel_bench not found" >&2
+        exit 1
+    fi
+    if [ "$SMOKE" = 1 ]; then
+        "$BUILD_DIR/tools/relief_kernel_bench" --smoke \
+            --out "$KERNELS_JSON"
+    else
+        "$BUILD_DIR/tools/relief_kernel_bench" --out "$KERNELS_JSON"
+    fi
+    python3 "$CHECKER" "$KERNELS_JSON"
+    "$BUILD_DIR/tools/relief_compare" --diff "$KERNELS_JSON" \
+        "$KERNELS_JSON" > /dev/null
+fi
 
 echo "bench outputs in $OUT_DIR/ (BENCH_relief.json," \
      "PRESSURE_relief.json, HOSTPROF_CDL.json schema-valid)"

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "kernels/simd/simd.hh"
 #include "sim/debug.hh"
 #include "sim/logging.hh"
 
@@ -41,8 +42,9 @@ cliUsage()
            "[--dm-predictor KIND] [--spm-partitions N] "
            "[--no-feasibility] [--no-forwarding] [--stream-forwarding] "
            "[--dma-burst N] [--submit-latency-us X] [--functional] "
-           "[--seed N] [--debug-flags LIST] [--stats-json FILE] "
-           "[--latency-breakdown] [--pressure-tracks] [--config FILE]";
+           "[--seed N] [--kernel-isa NAME] [--debug-flags LIST] "
+           "[--stats-json FILE] [--latency-breakdown] "
+           "[--pressure-tracks] [--config FILE]";
 }
 
 namespace
@@ -212,6 +214,11 @@ parseCliOptions(const std::vector<std::string> &raw_args)
         } else if (arg == "--seed") {
             config.app.seed = std::uint32_t(
                 std::strtoul(need_value(i).c_str(), nullptr, 10));
+            ++i;
+        } else if (arg == "--kernel-isa") {
+            // Applied immediately, like --debug-flags: the kernel ISA
+            // is process-global state, not per-experiment config.
+            setKernelIsa(kernelIsaFromName(need_value(i)));
             ++i;
         } else if (arg == "--debug-flags") {
             config.debugFlags = need_value(i);

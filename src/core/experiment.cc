@@ -1,5 +1,7 @@
 #include "core/experiment.hh"
 
+#include "kernels/scratch.hh"
+
 namespace relief
 {
 
@@ -10,6 +12,7 @@ runExperiment(const ExperimentConfig &config)
     // config, identical whether runs execute serially or on a
     // parallel runner's workers (see dag.hh resetNodeIds).
     resetNodeIds();
+    resetKernelScratch(); // likewise for the kernels.scratch_* stats
     Soc soc(config.soc);
     for (AppId app : parseMix(config.mix)) {
         DagPtr dag = buildApp(app, config.app);

@@ -8,6 +8,7 @@
 #include <ostream>
 #include <utility>
 
+#include "kernels/scratch.hh"
 #include "sched/relief.hh"
 #include "sim/logging.hh"
 #include "stats/json.hh"
@@ -300,6 +301,16 @@ Soc::registerStats()
                         &m.cpDepStallUs);
     stats_.addHistogram("manager.cp_total_us",
                         "end-to-end DAG latency (us)", &m.cpTotalUs);
+
+    // Functional-kernel scratch pooling (kernels/scratch.hh). The
+    // pool is thread-local and reset at every experiment entry point,
+    // so these read the run's own counts on the thread that dumps.
+    stats_.addCounter("kernels.scratch_reuses",
+                      "kernel scratch buffers served from the pool",
+                      [] { return ScratchPool::forThread().reuses(); });
+    stats_.addCounter("kernels.scratch_allocs",
+                      "kernel scratch buffers freshly allocated",
+                      [] { return ScratchPool::forThread().allocs(); });
 }
 
 Soc::~Soc() = default;

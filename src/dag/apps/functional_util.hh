@@ -44,7 +44,11 @@ convFn(Filter2D filter, int w, int h)
 {
     return [filter, w, h](const Inputs &in) {
         RELIEF_ASSERT(in.size() == 1, "conv node needs 1 input");
-        return convolve(planeFromVec(*in[0], w, h), filter).data();
+        RELIEF_ASSERT(in[0]->size() == std::size_t(w) * std::size_t(h),
+                      "conv node input size mismatch");
+        std::vector<float> out(in[0]->size());
+        convolveBuf(in[0]->data(), w, h, filter, out.data());
+        return out;
     };
 }
 
@@ -76,14 +80,12 @@ grayFn(int w, int h)
         const auto &packed = *in[0];
         std::size_t n = std::size_t(w) * std::size_t(h);
         RELIEF_ASSERT(packed.size() == 3 * n, "bad packed RGB size");
-        RgbImage rgb(w, h);
-        std::copy(packed.begin(), packed.begin() + long(n),
-                  rgb.r.data().begin());
-        std::copy(packed.begin() + long(n), packed.begin() + long(2 * n),
-                  rgb.g.data().begin());
-        std::copy(packed.begin() + long(2 * n), packed.end(),
-                  rgb.b.data().begin());
-        return grayscale(rgb).data();
+        // The packed [R|R|...|G|...|B] layout is already three channel
+        // buffers — feed them to the luma kernel without repacking.
+        std::vector<float> out(n);
+        grayscaleBuf(packed.data(), packed.data() + n,
+                     packed.data() + 2 * n, out.data(), n);
+        return out;
     };
 }
 

@@ -1,7 +1,7 @@
 #include "kernels/elemwise.hh"
 
-#include <cmath>
-
+#include "kernels/simd/simd.hh"
+#include "sim/hostprof.hh"
 #include "sim/logging.hh"
 
 namespace relief
@@ -22,6 +22,17 @@ elemOpIsBinary(ElemOp op)
     }
 }
 
+void
+elemwiseBuf(ElemOp op, const float *a, const float *b, float scalar,
+            float *out, std::size_t n)
+{
+    HostProfScope prof(HostCat::Kernels);
+    if (elemOpVectorized(op))
+        kernelOps().elemRow(op, a, b, scalar, out, n);
+    else
+        elemScalarRow(op, a, b, scalar, out, n);
+}
+
 std::vector<float>
 elemwise(ElemOp op, const std::vector<float> &a,
          const std::vector<float> *b, float scalar)
@@ -35,61 +46,34 @@ elemwise(ElemOp op, const std::vector<float> &a,
     }
 
     std::vector<float> out(a.size());
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        float x = a[i];
-        float y = b ? (*b)[i] : 0.0f;
-        float v = 0.0f;
-        switch (op) {
-          case ElemOp::Add:
-            v = x + y;
-            break;
-          case ElemOp::Sub:
-            v = x - y;
-            break;
-          case ElemOp::Mul:
-            v = x * y;
-            break;
-          case ElemOp::Div:
-            // Guarded divide: Richardson-Lucy divides by a blurred
-            // estimate that can reach zero in dark regions.
-            v = std::abs(y) > 1e-12f ? x / y : 0.0f;
-            break;
-          case ElemOp::Sqr:
-            v = x * x;
-            break;
-          case ElemOp::Sqrt:
-            v = x > 0.0f ? std::sqrt(x) : 0.0f;
-            break;
-          case ElemOp::Atan2:
-            v = std::atan2(x, y);
-            break;
-          case ElemOp::Tanh:
-            v = std::tanh(x);
-            break;
-          case ElemOp::Sigmoid:
-            v = 1.0f / (1.0f + std::exp(-x));
-            break;
-          case ElemOp::Scale:
-            v = x * scalar;
-            break;
-          case ElemOp::OneMinus:
-            v = 1.0f - x;
-            break;
-        }
-        out[i] = v;
-    }
+    elemwiseBuf(op, a.data(), b != nullptr ? b->data() : nullptr, scalar,
+                out.data(), a.size());
     return out;
 }
 
 Plane
 elemwise(ElemOp op, const Plane &a, const Plane *b, float scalar)
 {
-    if (b) {
+    Plane out(a.width(), a.height());
+    elemwiseInto(op, a, b, scalar, out);
+    return out;
+}
+
+void
+elemwiseInto(ElemOp op, const Plane &a, const Plane *b, float scalar,
+             Plane &out)
+{
+    if (b != nullptr) {
         RELIEF_ASSERT(a.sameShape(*b), "elem op plane shape mismatch");
     }
-    Plane out(a.width(), a.height());
-    out.data() = elemwise(op, a.data(), b ? &b->data() : nullptr, scalar);
-    return out;
+    RELIEF_ASSERT(a.sameShape(out), "elem op output shape mismatch");
+    if (elemOpIsBinary(op)) {
+        RELIEF_ASSERT(b != nullptr, "binary elem op ", elemOpName(op),
+                      " needs two operands");
+    }
+    elemwiseBuf(op, a.data().data(),
+                b != nullptr ? b->data().data() : nullptr, scalar,
+                out.data().data(), a.size());
 }
 
 } // namespace relief

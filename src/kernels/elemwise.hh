@@ -31,6 +31,18 @@ std::vector<float> elemwise(ElemOp op, const std::vector<float> &a,
 Plane elemwise(ElemOp op, const Plane &a, const Plane *b = nullptr,
                float scalar = 1.0f);
 
+/**
+ * Raw-buffer elemwise into caller storage (SIMD-dispatched via
+ * kernels/simd/simd.hh; the row-tiled pipeline and the DAG builders
+ * use this to avoid copies). @p out may alias @p a or @p b.
+ */
+void elemwiseBuf(ElemOp op, const float *a, const float *b, float scalar,
+                 float *out, std::size_t n);
+
+/** elemwise() into an existing same-shape Plane (pooled scratch). */
+void elemwiseInto(ElemOp op, const Plane &a, const Plane *b, float scalar,
+                  Plane &out);
+
 } // namespace relief
 
 #endif // RELIEF_KERNELS_ELEMWISE_HH

@@ -26,6 +26,10 @@ class Filter2D
     float &at(int x, int y) { return taps_[idx(x, y)]; }
     float at(int x, int y) const { return taps_[idx(x, y)]; }
 
+    /** Raw taps, row-major [y * size + x] — the layout the SIMD
+     *  convRow primitive consumes (kernels/simd/simd.hh). */
+    const float *taps() const { return taps_.data(); }
+
     /** Sum of all taps (1.0 for normalized smoothing filters). */
     float tapSum() const;
 
@@ -60,6 +64,31 @@ Filter2D identityFilter(int size);
 
 /** Convolve @p input with @p filter, clamping at borders. */
 Plane convolve(const Plane &input, const Filter2D &filter);
+
+/** convolve() into an existing same-shape Plane (pooled scratch). */
+void convolveInto(const Plane &input, const Filter2D &filter, Plane &out);
+
+/** Raw-buffer convolve: @p src and @p dst are w*h row-major planes.
+ *  The DAG builders use this to skip the Plane copies. */
+void convolveBuf(const float *src, int w, int h, const Filter2D &filter,
+                 float *dst);
+
+/**
+ * Separable convolution: horizontal @p row_taps pass then vertical
+ * @p col_taps pass, border-clamped per pass. Equals convolve() with
+ * the outer-product filter up to FP rounding (it reassociates), so it
+ * is a distinct kernel, not a convolve() replacement.
+ */
+Plane convolveSeparable(const Plane &input,
+                        const std::vector<float> &row_taps,
+                        const std::vector<float> &col_taps);
+
+/** Normalized 1-D Gaussian taps (pair with convolveSeparable). */
+std::vector<float> gaussianTaps1d(int size, float sigma = 1.0f);
+
+/** Fused gradient magnitude sqrt(gx^2 + gy^2), guarded exactly like
+ *  the Sqr/Sqr/Add/Sqrt elemwise chain (bit-identical to it). */
+Plane gradientMagnitude(const Plane &gx, const Plane &gy);
 
 } // namespace relief
 

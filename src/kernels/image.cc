@@ -11,6 +11,12 @@ Plane::Plane(int width, int height, float fill)
 {
 }
 
+Plane::Plane(int width, int height, std::vector<float> &&recycled)
+    : width_(width), height_(height), data_(std::move(recycled))
+{
+    data_.assign(std::size_t(width) * std::size_t(height), 0.0f);
+}
+
 float
 Plane::clampedAt(int x, int y) const
 {

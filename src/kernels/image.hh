@@ -23,6 +23,10 @@ class Plane
     Plane() = default;
     Plane(int width, int height, float fill = 0.0f);
 
+    /** Like Plane(width, height) but reusing @p recycled's capacity
+     *  (kernels/scratch.hh pooling); still zero-filled. */
+    Plane(int width, int height, std::vector<float> &&recycled);
+
     int width() const { return width_; }
     int height() const { return height_; }
     std::size_t size() const { return data_.size(); }

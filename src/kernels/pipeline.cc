@@ -1,0 +1,203 @@
+#include "kernels/pipeline.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "kernels/elemwise.hh"
+#include "kernels/scratch.hh"
+#include "kernels/simd/simd.hh"
+#include "sim/hostprof.hh"
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+namespace
+{
+
+int
+clampi(int v, int lo, int hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+} // namespace
+
+RowStage
+convStage(const Filter2D &filter)
+{
+    RowStage stage;
+    stage.radius = filter.size() / 2;
+    stage.run = [filter](const RowWindow &in, int y, float *out) {
+        const int fsize = filter.size();
+        const int half = fsize / 2;
+        const float *rows[5];
+        for (int fy = 0; fy < fsize; ++fy)
+            rows[fy] = in.row(y + fy - half);
+        kernelOps().convRow(rows, in.width(), filter.taps(), fsize, out);
+    };
+    return stage;
+}
+
+RowStage
+zipStage(ElemOp op, const Plane *ext, bool ext_first, float scalar)
+{
+    RELIEF_ASSERT(ext != nullptr, "zipStage needs an external plane");
+    RowStage stage;
+    stage.run = [op, ext, ext_first, scalar](const RowWindow &in, int y,
+                                             float *out) {
+        const int w = in.width();
+        const float *ext_row =
+            ext->data().data() + std::size_t(y) * std::size_t(w);
+        const float *a = ext_first ? ext_row : in.row(y);
+        const float *b = ext_first ? in.row(y) : ext_row;
+        elemwiseBuf(op, a, b, scalar, out, std::size_t(w));
+    };
+    return stage;
+}
+
+RowStage
+mapStage(ElemOp op, float scalar)
+{
+    RowStage stage;
+    stage.run = [op, scalar](const RowWindow &in, int y, float *out) {
+        elemwiseBuf(op, in.row(y), nullptr, scalar, out,
+                    std::size_t(in.width()));
+    };
+    return stage;
+}
+
+Plane
+runRowPipeline(const Plane &input, const std::vector<RowStage> &stages)
+{
+    RELIEF_ASSERT(!stages.empty(), "row pipeline needs >= 1 stage");
+    HostProfScope prof(HostCat::Kernels);
+    const int w = input.width(), h = input.height();
+    const int n = int(stages.size());
+    Plane out(w, h);
+    if (h == 0 || w == 0)
+        return out;
+
+    // Ring buffers for the outputs of stages 0..n-2; the consumer of
+    // ring i is stage i+1, which needs 2*radius+1 live rows.
+    std::vector<std::unique_ptr<ScratchVec>> ring_store;
+    std::vector<std::vector<float *>> ring_rows(std::size_t(n) - 1);
+    std::vector<int> caps(std::size_t(n) - 1, 0);
+    for (int i = 0; i + 1 < n; ++i) {
+        caps[i] = std::min(h, 2 * stages[std::size_t(i) + 1].radius + 1);
+        ring_store.push_back(std::make_unique<ScratchVec>(
+            std::size_t(caps[i]) * std::size_t(w)));
+        for (int k = 0; k < caps[i]; ++k)
+            ring_rows[i].push_back(ring_store.back()->data() +
+                                   std::size_t(k) * std::size_t(w));
+    }
+
+    // Pull-based production: to emit row t of stage i, first pull the
+    // upstream ring far enough (t + radius, clamped). next[i] is the
+    // lowest not-yet-produced row, so production is strictly monotone
+    // and a ring row is never overwritten while still needed.
+    std::vector<int> next(std::size_t(n), 0);
+    std::function<void(int, int)> produce = [&](int i, int t) {
+        t = std::min(t, h - 1);
+        while (next[std::size_t(i)] <= t) {
+            const int y = next[std::size_t(i)];
+            if (i > 0)
+                produce(i - 1, y + stages[std::size_t(i)].radius);
+            const RowWindow win =
+                i == 0 ? RowWindow(input.data().data(), w, h)
+                       : RowWindow(ring_rows[std::size_t(i) - 1].data(),
+                                   caps[std::size_t(i) - 1], w, h);
+            float *dst =
+                i == n - 1
+                    ? out.data().data() + std::size_t(y) * std::size_t(w)
+                    : ring_rows[std::size_t(i)][std::size_t(y % caps[i])];
+            stages[std::size_t(i)].run(win, y, dst);
+            ++next[std::size_t(i)];
+        }
+    };
+    for (int y = 0; y < h; ++y)
+        produce(n - 1, y);
+    return out;
+}
+
+Plane
+cannyNmsFromGray(const Plane &gray, const Filter2D &smooth)
+{
+    HostProfScope prof(HostCat::Kernels);
+    const KernelOps &ops = kernelOps();
+    const int w = gray.width(), h = gray.height();
+    Plane out(w, h);
+    if (w == 0 || h == 0)
+        return out;
+
+    Filter2D sx = sobelX(), sy = sobelY();
+    const int s_size = smooth.size();
+    const int s_half = s_size / 2;
+
+    // Sobel consumes 3 smoothed rows, NMS consumes 3 magnitude rows
+    // plus the matching direction row (produced one row ahead).
+    const int smooth_cap = std::min(h, 3);
+    const int mag_cap = std::min(h, 3);
+    const int dir_cap = std::min(h, 3);
+    ScratchVec smooth_store(std::size_t(smooth_cap) * w);
+    ScratchVec mag_store(std::size_t(mag_cap) * w);
+    ScratchVec dir_store(std::size_t(dir_cap) * w);
+    ScratchVec gx_row{std::size_t(w)};
+    ScratchVec gy_row{std::size_t(w)};
+
+    auto ring_row = [w](ScratchVec &store, int cap, int y) {
+        return store.data() + std::size_t(y % cap) * std::size_t(w);
+    };
+
+    int next_smooth = 0;
+    auto produce_smooth = [&](int t) {
+        t = std::min(t, h - 1);
+        while (next_smooth <= t) {
+            const int y = next_smooth;
+            const float *rows[5];
+            for (int fy = 0; fy < s_size; ++fy)
+                rows[fy] = gray.data().data() +
+                           std::size_t(clampi(y + fy - s_half, 0, h - 1)) *
+                               std::size_t(w);
+            ops.convRow(rows, w, smooth.taps(), s_size,
+                        ring_row(smooth_store, smooth_cap, y));
+            ++next_smooth;
+        }
+    };
+
+    int next_mag = 0;
+    auto produce_mag_dir = [&](int t) {
+        t = std::min(t, h - 1);
+        while (next_mag <= t) {
+            const int y = next_mag;
+            produce_smooth(y + 1);
+            const float *rows[3];
+            for (int dy = -1; dy <= 1; ++dy)
+                rows[dy + 1] = ring_row(smooth_store, smooth_cap,
+                                        clampi(y + dy, 0, h - 1));
+            ops.convRow(rows, w, sx.taps(), 3, gx_row.data());
+            ops.convRow(rows, w, sy.taps(), 3, gy_row.data());
+            ops.gradMag(gx_row.data(), gy_row.data(),
+                        ring_row(mag_store, mag_cap, y), std::size_t(w));
+            // Direction is atan2(gy, gx): scalar by contract.
+            elemScalarRow(ElemOp::Atan2, gy_row.data(), gx_row.data(),
+                          1.0f, ring_row(dir_store, dir_cap, y),
+                          std::size_t(w));
+            ++next_mag;
+        }
+    };
+
+    for (int y = 0; y < h; ++y) {
+        produce_mag_dir(y + 1);
+        const float *m[3];
+        for (int dy = -1; dy <= 1; ++dy)
+            m[dy + 1] =
+                ring_row(mag_store, mag_cap, clampi(y + dy, 0, h - 1));
+        ops.cannyNmsRow(m, ring_row(dir_store, dir_cap, y), w,
+                        out.data().data() +
+                            std::size_t(y) * std::size_t(w));
+    }
+    return out;
+}
+
+} // namespace relief

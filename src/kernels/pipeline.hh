@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Row-tiled kernel pipeline: chain producer→consumer kernels
+ * (blur → gradient → NMS) so each stage reads a sliding window of
+ * rows from a small pooled ring buffer instead of whole intermediate
+ * Planes. Output is bit-identical to running the stages as separate
+ * whole-plane passes — every stage applies the same SIMD row
+ * primitives (kernels/simd/simd.hh) to the same clamped row data, in
+ * the same order; only the storage the rows live in changes.
+ */
+
+#ifndef RELIEF_KERNELS_PIPELINE_HH
+#define RELIEF_KERNELS_PIPELINE_HH
+
+#include <functional>
+#include <vector>
+
+#include "acc/acc_types.hh"
+#include "kernels/filters.hh"
+#include "kernels/image.hh"
+
+namespace relief
+{
+
+/** Read-only view of a stage's input rows: either a whole Plane or a
+ *  ring of the last few produced rows. row(y) clamps y to [0, h). */
+class RowWindow
+{
+  public:
+    /** Whole-plane window (@p data is w*h row-major). */
+    RowWindow(const float *data, int w, int h)
+        : data_(data), w_(w), h_(h)
+    {
+    }
+
+    /** Ring window: row y lives at ring[y % ring_cap]. Valid only
+     *  while the producer stays within ring_cap rows of the
+     *  consumer — runRowPipeline guarantees that. */
+    RowWindow(float *const *ring, int ring_cap, int w, int h)
+        : ring_(ring), cap_(ring_cap), w_(w), h_(h)
+    {
+    }
+
+    const float *
+    row(int y) const
+    {
+        y = y < 0 ? 0 : (y >= h_ ? h_ - 1 : y);
+        if (ring_ != nullptr)
+            return ring_[y % cap_];
+        return data_ + std::size_t(y) * std::size_t(w_);
+    }
+
+    int width() const { return w_; }
+    int height() const { return h_; }
+
+  private:
+    const float *data_ = nullptr;
+    float *const *ring_ = nullptr;
+    int cap_ = 0;
+    int w_ = 0;
+    int h_ = 0;
+};
+
+/** One row-producing stage of a pipeline. */
+struct RowStage
+{
+    /** Vertical support: producing output row y reads input rows
+     *  [y - radius, y + radius] (clamped). */
+    int radius = 0;
+
+    /** Produce output row @p y (w floats) from @p in. */
+    std::function<void(const RowWindow &in, int y, float *out)> run;
+};
+
+/** 2-D convolution stage (radius = filter.size() / 2). */
+RowStage convStage(const Filter2D &filter);
+
+/** Elementwise-binary stage against an external Plane: row y of
+ *  @p ext is the first operand when @p ext_first, else the second.
+ *  @p ext must outlive the pipeline run and match its shape. */
+RowStage zipStage(ElemOp op, const Plane *ext, bool ext_first,
+                  float scalar = 1.0f);
+
+/** Elementwise-unary stage. */
+RowStage mapStage(ElemOp op, float scalar = 1.0f);
+
+/**
+ * Run @p stages over @p input. Intermediate rows live in pooled ring
+ * buffers sized 2 * next_stage.radius + 1; only the final stage
+ * writes a full Plane. Rows are produced in a pull-based, strictly
+ * monotone order, so results are deterministic and bit-identical to
+ * the unfused whole-plane chain.
+ */
+Plane runRowPipeline(const Plane &input,
+                     const std::vector<RowStage> &stages);
+
+/**
+ * Fused Canny front half: @p smooth blur → Sobel gx/gy → gradient
+ * magnitude/direction → directional NMS, all row-tiled from pooled
+ * scratch. Bit-identical to the unfused convolve/elemwise/cannyNonMax
+ * chain (the atan2 rows take the shared scalar path).
+ */
+Plane cannyNmsFromGray(const Plane &gray, const Filter2D &smooth);
+
+} // namespace relief
+
+#endif // RELIEF_KERNELS_PIPELINE_HH

@@ -1,6 +1,8 @@
 #include "kernels/rnn.hh"
 
 #include "kernels/elemwise.hh"
+#include "kernels/simd/simd.hh"
+#include "sim/hostprof.hh"
 #include "sim/logging.hh"
 
 namespace relief
@@ -23,15 +25,22 @@ randomVec(int n, std::uint32_t &rng)
     return v;
 }
 
-/** act(w*x + u*h + b), all elementwise. */
+/** act(w*x + u*h + b), the pre-activation fused through the SIMD
+ *  rnnGatePre primitive (bit-identical to the former Mul/Mul/Add/Add
+ *  elemwise chain). */
 Vec
 gate(ElemOp activation, const Vec &w, const Vec &x, const Vec &u,
      const Vec &h, const Vec &b)
 {
-    Vec wx = elemwise(ElemOp::Mul, w, &x);
-    Vec uh = elemwise(ElemOp::Mul, u, &h);
-    Vec pre = elemwise(ElemOp::Add, wx, &uh);
-    pre = elemwise(ElemOp::Add, pre, &b);
+    RELIEF_ASSERT(w.size() == x.size() && u.size() == h.size() &&
+                      w.size() == u.size() && w.size() == b.size(),
+                  "RNN gate operand size mismatch");
+    Vec pre(x.size());
+    {
+        HostProfScope prof(HostCat::Kernels);
+        kernelOps().rnnGatePre(w.data(), x.data(), u.data(), h.data(),
+                               b.data(), pre.data(), pre.size());
+    }
     return elemwise(activation, pre);
 }
 

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Pooled scratch buffers for the functional kernels. The reference
+ * pipelines (Canny, Harris, Richardson-Lucy) and the row-tiled
+ * pipeline used to allocate whole intermediate Planes on every call;
+ * the pool recycles that storage across calls on the same thread.
+ *
+ * The pool is thread-local and reset (buffers dropped, counters
+ * zeroed) at every experiment entry point alongside resetNodeIds(),
+ * so the `kernels.scratch_*` stats are a pure function of the run —
+ * independent of what the worker thread executed before — preserving
+ * the jobs-invariance contract.
+ */
+
+#ifndef RELIEF_KERNELS_SCRATCH_HH
+#define RELIEF_KERNELS_SCRATCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/image.hh"
+
+namespace relief
+{
+
+/** Thread-local recycler of float buffers. */
+class ScratchPool
+{
+  public:
+    /** The calling thread's pool. */
+    static ScratchPool &forThread();
+
+    /** Take a recycled buffer (unspecified contents, any size) or a
+     *  fresh one; callers size/fill it themselves. */
+    std::vector<float> acquire();
+
+    /** Return a buffer for reuse (keeps at most a handful). */
+    void release(std::vector<float> &&buf);
+
+    /** Acquisitions served from the pool since the last reset(). */
+    std::uint64_t reuses() const { return reuses_; }
+
+    /** Acquisitions that had to allocate fresh storage. */
+    std::uint64_t allocs() const { return allocs_; }
+
+    /** Drop pooled buffers and zero the counters. */
+    void reset();
+
+  private:
+    static constexpr std::size_t maxPooled = 64;
+
+    std::vector<std::vector<float>> free_;
+    std::uint64_t reuses_ = 0;
+    std::uint64_t allocs_ = 0;
+};
+
+/** reset() the calling thread's pool — call where resetNodeIds() is
+ *  called so scratch stats are deterministic per run. */
+void resetKernelScratch();
+
+/** RAII Plane drawing its storage from the thread's ScratchPool;
+ *  zero-filled like a fresh Plane(w, h). */
+class ScratchPlane
+{
+  public:
+    ScratchPlane(int width, int height);
+    ~ScratchPlane();
+
+    ScratchPlane(const ScratchPlane &) = delete;
+    ScratchPlane &operator=(const ScratchPlane &) = delete;
+
+    Plane &operator*() { return plane_; }
+    const Plane &operator*() const { return plane_; }
+    Plane *operator->() { return &plane_; }
+    const Plane *operator->() const { return &plane_; }
+
+  private:
+    Plane plane_;
+};
+
+/** RAII flat float buffer from the thread's ScratchPool
+ *  (zero-filled). */
+class ScratchVec
+{
+  public:
+    explicit ScratchVec(std::size_t n);
+    ~ScratchVec();
+
+    ScratchVec(const ScratchVec &) = delete;
+    ScratchVec &operator=(const ScratchVec &) = delete;
+
+    float *data() { return vec_.data(); }
+    const float *data() const { return vec_.data(); }
+    std::size_t size() const { return vec_.size(); }
+
+  private:
+    std::vector<float> vec_;
+};
+
+} // namespace relief
+
+#endif // RELIEF_KERNELS_SCRATCH_HH

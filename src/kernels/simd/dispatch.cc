@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Runtime ISA dispatch for the SIMD kernel engine, plus the shared
+ * scalar loops (libm-bound ops) every backend routes through. This TU
+ * is compiled with the project's baseline flags only, so the shared
+ * scalar paths have exactly one codegen no matter which backend is
+ * active — that is what makes Atan2/Tanh/Sigmoid/pow bit-identical
+ * across ISAs by construction.
+ */
+
+#include "kernels/simd/simd.hh"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+
+#include "sim/logging.hh"
+
+namespace relief
+{
+
+// Backend providers, one per TU under simd/. Each returns nullptr
+// when its ISA is not compiled in (wrong arch or unsupported -m flag).
+const KernelOps *scalarKernelOpsImpl();
+const KernelOps *sse42KernelOpsImpl();
+const KernelOps *avx2KernelOpsImpl();
+const KernelOps *neonKernelOpsImpl();
+
+namespace
+{
+
+const KernelOps *
+opsTableFor(KernelIsa isa)
+{
+    switch (isa) {
+    case KernelIsa::Scalar:
+        return scalarKernelOpsImpl();
+    case KernelIsa::Sse42:
+        return sse42KernelOpsImpl();
+    case KernelIsa::Avx2:
+        return avx2KernelOpsImpl();
+    case KernelIsa::Neon:
+        return neonKernelOpsImpl();
+    }
+    return nullptr;
+}
+
+bool
+cpuSupports(KernelIsa isa)
+{
+    switch (isa) {
+    case KernelIsa::Scalar:
+        return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case KernelIsa::Sse42:
+        return __builtin_cpu_supports("sse4.2") != 0;
+    case KernelIsa::Avx2:
+        return __builtin_cpu_supports("avx2") != 0;
+#endif
+#if defined(__aarch64__)
+    case KernelIsa::Neon:
+        return true; // Advanced SIMD is mandatory on AArch64.
+#endif
+    default:
+        return false;
+    }
+}
+
+// Resolved choice; -1 = not resolved yet. Guarded by a mutex on the
+// slow path, read lock-free afterwards.
+std::atomic<int> g_active{-1};
+std::mutex g_resolve_mutex;
+
+KernelIsa
+resolveIsa()
+{
+    if (const char *env = std::getenv("RELIEF_KERNEL_ISA");
+        env != nullptr && *env != '\0') {
+        KernelIsa isa = kernelIsaFromName(env);
+        if (!kernelIsaSupported(isa))
+            fatal("RELIEF_KERNEL_ISA=", env,
+                  " is not supported by this build/CPU");
+        return isa;
+    }
+    for (KernelIsa isa :
+         {KernelIsa::Avx2, KernelIsa::Sse42, KernelIsa::Neon}) {
+        if (kernelIsaSupported(isa))
+            return isa;
+    }
+    return KernelIsa::Scalar;
+}
+
+} // namespace
+
+const char *
+kernelIsaName(KernelIsa isa)
+{
+    switch (isa) {
+    case KernelIsa::Scalar:
+        return "scalar";
+    case KernelIsa::Sse42:
+        return "sse4.2";
+    case KernelIsa::Avx2:
+        return "avx2";
+    case KernelIsa::Neon:
+        return "neon";
+    }
+    return "unknown";
+}
+
+KernelIsa
+kernelIsaFromName(const std::string &name)
+{
+    for (KernelIsa isa : {KernelIsa::Scalar, KernelIsa::Sse42,
+                          KernelIsa::Avx2, KernelIsa::Neon}) {
+        if (name == kernelIsaName(isa))
+            return isa;
+    }
+    fatal("unknown kernel ISA '", name,
+          "' (expected scalar, sse4.2, avx2, or neon)");
+}
+
+std::vector<KernelIsa>
+compiledKernelIsas()
+{
+    std::vector<KernelIsa> isas;
+    for (KernelIsa isa : {KernelIsa::Scalar, KernelIsa::Sse42,
+                          KernelIsa::Avx2, KernelIsa::Neon}) {
+        if (opsTableFor(isa) != nullptr)
+            isas.push_back(isa);
+    }
+    return isas;
+}
+
+bool
+kernelIsaSupported(KernelIsa isa)
+{
+    return opsTableFor(isa) != nullptr && cpuSupports(isa);
+}
+
+KernelIsa
+activeKernelIsa()
+{
+    int active = g_active.load(std::memory_order_acquire);
+    if (active < 0) {
+        std::lock_guard<std::mutex> lock(g_resolve_mutex);
+        active = g_active.load(std::memory_order_acquire);
+        if (active < 0) {
+            active = int(resolveIsa());
+            g_active.store(active, std::memory_order_release);
+        }
+    }
+    return KernelIsa(active);
+}
+
+void
+setKernelIsa(KernelIsa isa)
+{
+    RELIEF_ASSERT(kernelIsaSupported(isa),
+                  "kernel ISA ", kernelIsaName(isa),
+                  " not supported by this build/CPU");
+    std::lock_guard<std::mutex> lock(g_resolve_mutex);
+    g_active.store(int(isa), std::memory_order_release);
+}
+
+void
+resetKernelIsaForTesting()
+{
+    std::lock_guard<std::mutex> lock(g_resolve_mutex);
+    g_active.store(-1, std::memory_order_release);
+}
+
+const KernelOps &
+kernelOps()
+{
+    return *opsTableFor(activeKernelIsa());
+}
+
+const KernelOps &
+kernelOpsFor(KernelIsa isa)
+{
+    const KernelOps *ops = opsTableFor(isa);
+    RELIEF_ASSERT(ops != nullptr, "kernel ISA ", kernelIsaName(isa),
+                  " not compiled into this binary");
+    return *ops;
+}
+
+bool
+elemOpVectorized(ElemOp op)
+{
+    switch (op) {
+    case ElemOp::Add:
+    case ElemOp::Sub:
+    case ElemOp::Mul:
+    case ElemOp::Div:
+    case ElemOp::Sqr:
+    case ElemOp::Sqrt:
+    case ElemOp::Scale:
+    case ElemOp::OneMinus:
+        return true;
+    case ElemOp::Atan2:
+    case ElemOp::Tanh:
+    case ElemOp::Sigmoid:
+        return false;
+    }
+    return false;
+}
+
+void
+elemScalarRow(ElemOp op, const float *a, const float *b, float scalar,
+              float *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const float x = a[i];
+        const float y = b != nullptr ? b[i] : 0.0f;
+        float v = 0.0f;
+        switch (op) {
+        case ElemOp::Add:
+            v = x + y;
+            break;
+        case ElemOp::Sub:
+            v = x - y;
+            break;
+        case ElemOp::Mul:
+            v = x * y;
+            break;
+        case ElemOp::Div:
+            v = std::abs(y) > 1e-12f ? x / y : 0.0f;
+            break;
+        case ElemOp::Sqr:
+            v = x * x;
+            break;
+        case ElemOp::Sqrt:
+            v = x > 0.0f ? std::sqrt(x) : 0.0f;
+            break;
+        case ElemOp::Atan2:
+            v = std::atan2(x, y);
+            break;
+        case ElemOp::Tanh:
+            v = std::tanh(x);
+            break;
+        case ElemOp::Sigmoid:
+            v = 1.0f / (1.0f + std::exp(-x));
+            break;
+        case ElemOp::Scale:
+            v = x * scalar;
+            break;
+        case ElemOp::OneMinus:
+            v = 1.0f - x;
+            break;
+        }
+        out[i] = v;
+    }
+}
+
+void
+gammaCorrect(float *p, std::size_t n, float inv_gamma)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        p[i] = std::pow(p[i], inv_gamma);
+}
+
+} // namespace relief

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * AVX2 backend (8 float lanes). This TU is the only one compiled with
+ * -mavx2 — and deliberately NOT -mfma: the bit-identity contract
+ * forbids contracting the explicit mul+add sequences. Degrades to a
+ * nullptr stub when the toolchain can't target AVX2.
+ */
+
+#include "kernels/simd/simd.hh"
+
+#if defined(__AVX2__)
+#include "kernels/simd/kernels_impl.hh"
+#endif
+
+namespace relief
+{
+
+#if defined(__AVX2__)
+const KernelOps *
+avx2KernelOpsImpl()
+{
+    static const KernelOps ops =
+        simd_detail::makeOps<simd_detail::Avx2Lane>(KernelIsa::Avx2);
+    return &ops;
+}
+#else
+const KernelOps *
+avx2KernelOpsImpl()
+{
+    return nullptr;
+}
+#endif
+
+} // namespace relief

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * AArch64 Advanced SIMD backend (4 float lanes). NEON is mandatory on
+ * AArch64 so no extra -m flag is needed; on other architectures the
+ * provider is a nullptr stub.
+ */
+
+#include "kernels/simd/simd.hh"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#include "kernels/simd/kernels_impl.hh"
+#endif
+
+namespace relief
+{
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+const KernelOps *
+neonKernelOpsImpl()
+{
+    static const KernelOps ops =
+        simd_detail::makeOps<simd_detail::NeonLane>(KernelIsa::Neon);
+    return &ops;
+}
+#else
+const KernelOps *
+neonKernelOpsImpl()
+{
+    return nullptr;
+}
+#endif
+
+} // namespace relief

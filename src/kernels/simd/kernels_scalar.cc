@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Scalar backend: the width-1 reference instantiation every SIMD
+ * backend must match bit for bit. Compiled with baseline flags only.
+ */
+
+#include "kernels/simd/kernels_impl.hh"
+
+namespace relief
+{
+
+const KernelOps *
+scalarKernelOpsImpl()
+{
+    static const KernelOps ops =
+        simd_detail::makeOps<simd_detail::ScalarLane>(KernelIsa::Scalar);
+    return &ops;
+}
+
+} // namespace relief

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * SSE4.2 backend (4 float lanes). This TU is the only one compiled
+ * with -msse4.2 (see src/kernels/CMakeLists.txt); when the toolchain
+ * can't target it the provider degrades to a nullptr stub and the
+ * dispatcher skips the ISA.
+ */
+
+#include "kernels/simd/simd.hh"
+
+#if defined(__SSE4_2__)
+#include "kernels/simd/kernels_impl.hh"
+#endif
+
+namespace relief
+{
+
+#if defined(__SSE4_2__)
+const KernelOps *
+sse42KernelOpsImpl()
+{
+    static const KernelOps ops =
+        simd_detail::makeOps<simd_detail::Sse42Lane>(KernelIsa::Sse42);
+    return &ops;
+}
+#else
+const KernelOps *
+sse42KernelOpsImpl()
+{
+    return nullptr;
+}
+#endif
+
+} // namespace relief

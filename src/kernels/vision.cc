@@ -5,6 +5,10 @@
 #include <queue>
 
 #include "kernels/elemwise.hh"
+#include "kernels/pipeline.hh"
+#include "kernels/scratch.hh"
+#include "kernels/simd/simd.hh"
+#include "sim/hostprof.hh"
 #include "sim/logging.hh"
 
 namespace relief
@@ -68,24 +72,17 @@ demosaic(const BayerImage &raw)
 RgbImage
 isp(const BayerImage &raw, const IspParams &params)
 {
+    HostProfScope prof(HostCat::Kernels);
     RgbImage rgb = demosaic(raw);
-    float inv_gamma = 1.0f / params.gamma;
-    for (int y = 0; y < rgb.height(); ++y) {
-        for (int x = 0; x < rgb.width(); ++x) {
-            float in[3] = {rgb.r.at(x, y), rgb.g.at(x, y), rgb.b.at(x, y)};
-            float out[3];
-            for (int c = 0; c < 3; ++c) {
-                float v = params.ccm[c][0] * in[0] +
-                          params.ccm[c][1] * in[1] +
-                          params.ccm[c][2] * in[2];
-                v = std::clamp(v, 0.0f, 1.0f);
-                out[c] = std::pow(v, inv_gamma);
-            }
-            rgb.r.at(x, y) = out[0];
-            rgb.g.at(x, y) = out[1];
-            rgb.b.at(x, y) = out[2];
-        }
-    }
+    const std::size_t n = rgb.r.size();
+    // CCM + clamp is the vector pass; the per-value op sequence
+    // (matrix row, clamp, pow) matches the former fused pixel loop.
+    kernelOps().ccmClamp(rgb.r.data().data(), rgb.g.data().data(),
+                         rgb.b.data().data(), n, params.ccm);
+    const float inv_gamma = 1.0f / params.gamma;
+    gammaCorrect(rgb.r.data().data(), n, inv_gamma);
+    gammaCorrect(rgb.g.data().data(), n, inv_gamma);
+    gammaCorrect(rgb.b.data().data(), n, inv_gamma);
     return rgb;
 }
 
@@ -93,14 +90,17 @@ Plane
 grayscale(const RgbImage &rgb)
 {
     Plane out(rgb.width(), rgb.height());
-    for (int y = 0; y < rgb.height(); ++y) {
-        for (int x = 0; x < rgb.width(); ++x) {
-            out.at(x, y) = 0.299f * rgb.r.at(x, y) +
-                           0.587f * rgb.g.at(x, y) +
-                           0.114f * rgb.b.at(x, y);
-        }
-    }
+    grayscaleBuf(rgb.r.data().data(), rgb.g.data().data(),
+                 rgb.b.data().data(), out.data().data(), out.size());
     return out;
+}
+
+void
+grayscaleBuf(const float *r, const float *g, const float *b, float *out,
+             std::size_t n)
+{
+    HostProfScope prof(HostCat::Kernels);
+    kernelOps().bt601(r, g, b, out, n);
 }
 
 Plane
@@ -108,33 +108,21 @@ cannyNonMax(const Plane &magnitude, const Plane &direction)
 {
     RELIEF_ASSERT(magnitude.sameShape(direction),
                   "canny NMS: magnitude/direction shape mismatch");
-    Plane out(magnitude.width(), magnitude.height());
-    for (int y = 0; y < magnitude.height(); ++y) {
-        for (int x = 0; x < magnitude.width(); ++x) {
-            float angle = direction.at(x, y);
-            // Quantize to 0/45/90/135 degrees.
-            float deg = angle * 180.0f / float(M_PI);
-            if (deg < 0.0f)
-                deg += 180.0f;
-            int dx1, dy1;
-            if (deg < 22.5f || deg >= 157.5f) {
-                dx1 = 1;
-                dy1 = 0;
-            } else if (deg < 67.5f) {
-                dx1 = 1;
-                dy1 = 1;
-            } else if (deg < 112.5f) {
-                dx1 = 0;
-                dy1 = 1;
-            } else {
-                dx1 = -1;
-                dy1 = 1;
-            }
-            float m = magnitude.at(x, y);
-            float n1 = magnitude.clampedAt(x + dx1, y + dy1);
-            float n2 = magnitude.clampedAt(x - dx1, y - dy1);
-            out.at(x, y) = (m >= n1 && m >= n2) ? m : 0.0f;
+    HostProfScope prof(HostCat::Kernels);
+    const int w = magnitude.width(), h = magnitude.height();
+    Plane out(w, h);
+    const KernelOps &ops = kernelOps();
+    const float *src = magnitude.data().data();
+    const float *dir = direction.data().data();
+    const float *m[3];
+    for (int y = 0; y < h; ++y) {
+        for (int dy = -1; dy <= 1; ++dy) {
+            int yy = std::clamp(y + dy, 0, h - 1);
+            m[dy + 1] = src + std::size_t(yy) * std::size_t(w);
         }
+        ops.cannyNmsRow(m, dir + std::size_t(y) * std::size_t(w), w,
+                        out.data().data() +
+                            std::size_t(y) * std::size_t(w));
     }
     return out;
 }
@@ -144,6 +132,7 @@ edgeTracking(const Plane &nms, float low_t, float high_t)
 {
     RELIEF_ASSERT(low_t <= high_t,
                   "edge tracking: low threshold above high threshold");
+    HostProfScope prof(HostCat::Kernels);
     int w = nms.width(), h = nms.height();
     Plane out(w, h);
     std::queue<std::pair<int, int>> frontier;
@@ -177,22 +166,20 @@ edgeTracking(const Plane &nms, float low_t, float high_t)
 Plane
 harrisNonMax(const Plane &response)
 {
-    Plane out(response.width(), response.height());
-    for (int y = 0; y < response.height(); ++y) {
-        for (int x = 0; x < response.width(); ++x) {
-            float v = response.at(x, y);
-            if (v <= 0.0f)
-                continue;
-            bool is_max = true;
-            for (int dy = -1; dy <= 1 && is_max; ++dy)
-                for (int dx = -1; dx <= 1; ++dx)
-                    if ((dx || dy) &&
-                        response.clampedAt(x + dx, y + dy) > v) {
-                        is_max = false;
-                        break;
-                    }
-            out.at(x, y) = is_max ? v : 0.0f;
+    HostProfScope prof(HostCat::Kernels);
+    const int w = response.width(), h = response.height();
+    Plane out(w, h);
+    const KernelOps &ops = kernelOps();
+    const float *src = response.data().data();
+    const float *r[3];
+    for (int y = 0; y < h; ++y) {
+        for (int dy = -1; dy <= 1; ++dy) {
+            int yy = std::clamp(y + dy, 0, h - 1);
+            r[dy + 1] = src + std::size_t(yy) * std::size_t(w);
         }
+        ops.harrisNmsRow(r, w,
+                         out.data().data() +
+                             std::size_t(y) * std::size_t(w));
     }
     return out;
 }
@@ -201,15 +188,9 @@ Plane
 cannyReference(const BayerImage &raw, float low_t, float high_t)
 {
     Plane gray = grayscale(isp(raw));
-    Plane smooth = convolve(gray, gaussianFilter(5));
-    Plane gx = convolve(smooth, sobelX());
-    Plane gy = convolve(smooth, sobelY());
-    Plane gx2 = elemwise(ElemOp::Sqr, gx);
-    Plane gy2 = elemwise(ElemOp::Sqr, gy);
-    Plane sum = elemwise(ElemOp::Add, gx2, &gy2);
-    Plane mag = elemwise(ElemOp::Sqrt, sum);
-    Plane dir = elemwise(ElemOp::Atan2, gy, &gx);
-    Plane nms = cannyNonMax(mag, dir);
+    // Fused row-tiled smooth -> Sobel -> magnitude/direction -> NMS
+    // (bit-identical to the unfused whole-plane chain).
+    Plane nms = cannyNmsFromGray(gray, gaussianFilter(5));
     Plane edges = edgeTracking(nms, low_t, high_t);
     // Final elem-matrix boost stage of the DAG: scale the binary edge
     // map to full intensity.
@@ -220,37 +201,50 @@ Plane
 harrisReference(const BayerImage &raw, float k)
 {
     Plane gray = grayscale(isp(raw));
-    Plane ix = convolve(gray, sobelX());
-    Plane iy = convolve(gray, sobelY());
-    Plane ixx = elemwise(ElemOp::Mul, ix, &ix);
-    Plane iyy = elemwise(ElemOp::Mul, iy, &iy);
-    Plane ixy = elemwise(ElemOp::Mul, ix, &iy);
+    HostProfScope prof(HostCat::Kernels);
+    const int w = gray.width(), h = gray.height();
     Filter2D window = gaussianFilter(5);
-    Plane sxx = convolve(ixx, window);
-    Plane syy = convolve(iyy, window);
-    Plane sxy = convolve(ixy, window);
+    // Intermediates live in pooled scratch; t0 is recycled for each
+    // product plane between convolutions. The per-element op sequence
+    // matches the former one-Plane-per-step chain exactly.
+    ScratchPlane ix(w, h), iy(w, h), t0(w, h);
+    ScratchPlane sxx(w, h), syy(w, h), sxy(w, h);
+    ScratchPlane det(w, h), trace(w, h);
+    convolveInto(gray, sobelX(), *ix);
+    convolveInto(gray, sobelY(), *iy);
+    elemwiseInto(ElemOp::Mul, *ix, &*ix, 1.0f, *t0); // ixx
+    convolveInto(*t0, window, *sxx);
+    elemwiseInto(ElemOp::Mul, *iy, &*iy, 1.0f, *t0); // iyy
+    convolveInto(*t0, window, *syy);
+    elemwiseInto(ElemOp::Mul, *ix, &*iy, 1.0f, *t0); // ixy
+    convolveInto(*t0, window, *sxy);
     // R = det(M) - k * trace(M)^2
-    Plane det_a = elemwise(ElemOp::Mul, sxx, &syy);
-    Plane det_b = elemwise(ElemOp::Mul, sxy, &sxy);
-    Plane det = elemwise(ElemOp::Sub, det_a, &det_b);
-    Plane trace = elemwise(ElemOp::Add, sxx, &syy);
-    Plane trace2 = elemwise(ElemOp::Sqr, trace);
-    Plane ktrace2 = elemwise(ElemOp::Scale, trace2, nullptr, k);
-    Plane response = elemwise(ElemOp::Sub, det, &ktrace2);
-    return harrisNonMax(response);
+    elemwiseInto(ElemOp::Mul, *sxx, &*syy, 1.0f, *det);
+    elemwiseInto(ElemOp::Mul, *sxy, &*sxy, 1.0f, *t0);
+    elemwiseInto(ElemOp::Sub, *det, &*t0, 1.0f, *det);
+    elemwiseInto(ElemOp::Add, *sxx, &*syy, 1.0f, *trace);
+    elemwiseInto(ElemOp::Sqr, *trace, nullptr, 1.0f, *trace);
+    elemwiseInto(ElemOp::Scale, *trace, nullptr, k, *trace);
+    elemwiseInto(ElemOp::Sub, *det, &*trace, 1.0f, *det);
+    return harrisNonMax(*det);
 }
 
 Plane
 richardsonLucy(const Plane &blurred, const Filter2D &psf, int iterations)
 {
     RELIEF_ASSERT(iterations >= 1, "RL deblur needs >= 1 iteration");
+    HostProfScope prof(HostCat::Kernels);
     Plane estimate = blurred;
     Filter2D mirrored = psf.flipped();
     for (int it = 0; it < iterations; ++it) {
-        Plane reblurred = convolve(estimate, psf);
-        Plane ratio = elemwise(ElemOp::Div, blurred, &reblurred);
-        Plane correction = convolve(ratio, mirrored);
-        estimate = elemwise(ElemOp::Mul, estimate, &correction);
+        // One row-tiled pass per iteration: reblur, guarded ratio
+        // against the observation, correction blur, multiply into the
+        // running estimate — intermediates never leave pooled rings.
+        estimate = runRowPipeline(
+            estimate, {convStage(psf),
+                       zipStage(ElemOp::Div, &blurred, true),
+                       convStage(mirrored),
+                       zipStage(ElemOp::Mul, &estimate, true)});
     }
     return estimate;
 }

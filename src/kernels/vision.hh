@@ -31,6 +31,11 @@ RgbImage isp(const BayerImage &raw, const IspParams &params = {});
 /** ITU-R BT.601 luma conversion. */
 Plane grayscale(const RgbImage &rgb);
 
+/** Raw-buffer BT.601 luma from three channel buffers (the DAG
+ *  builders use this to skip the RgbImage repacking copies). */
+void grayscaleBuf(const float *r, const float *g, const float *b,
+                  float *out, std::size_t n);
+
 /**
  * Canny non-maximum suppression: keep gradient magnitudes that are
  * local maxima along the quantized gradient direction.

@@ -6,6 +6,7 @@
 #include "core/experiment.hh"
 #include "core/rng.hh"
 #include "dag/apps/apps.hh"
+#include "kernels/scratch.hh"
 #include "sim/logging.hh"
 #include "stats/json.hh"
 #include "stats/table.hh"
@@ -59,6 +60,7 @@ ServeDriver::ServeDriver(const ServeConfig &config) : config_(config)
     // Fresh ids per run: reports become a pure function of the config
     // and seed, identical on any parallelFor worker (see dag.hh).
     resetNodeIds();
+    resetKernelScratch(); // likewise for the kernels.scratch_* stats
     // Serve classes register with the pressure ledger as QoS ids 1..N,
     // after its implicit "default" class 0 (untagged traffic, spills).
     config_.soc.qosClassNames.clear();

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "core/cli.hh"
+#include "kernels/simd/simd.hh"
 #include "sim/debug.hh"
 #include "sim/logging.hh"
 
@@ -35,6 +36,17 @@ TEST(CliTest, ParsesEveryPolicyName)
         EXPECT_EQ(policyFromName(policyName(kind)), kind);
     EXPECT_EQ(policyFromName("RELIEF-HS"), PolicyKind::ReliefHetSched);
     EXPECT_THROW(policyFromName("NOPE"), FatalError);
+}
+
+TEST(CliTest, ParsesKernelIsa)
+{
+    // Applied immediately, like --debug-flags: the active backend is
+    // forced as a side effect of parsing.
+    parseCliOptions({"--kernel-isa", "scalar"});
+    EXPECT_EQ(activeKernelIsa(), KernelIsa::Scalar);
+    EXPECT_THROW(parseCliOptions({"--kernel-isa", "mmx"}), FatalError);
+    EXPECT_THROW(parseCliOptions({"--kernel-isa"}), FatalError);
+    resetKernelIsaForTesting();
 }
 
 TEST(CliTest, ParsesContinuousAndLimit)

@@ -45,6 +45,7 @@
 
 #include "core/cli.hh"
 #include "core/relief.hh"
+#include "kernels/scratch.hh"
 #include "sim/build_info.hh"
 #include "sim/hostprof.hh"
 #include "stats/json.hh"
@@ -97,7 +98,8 @@ runOne(const std::string &mix, PolicyKind policy, Tick limit,
     run.mix = mix;
     run.policy = policy;
 
-    resetNodeIds(); // results independent of worker-thread history
+    resetNodeIds();      // results independent of worker-thread history
+    resetKernelScratch(); // same contract for kernels.scratch_* stats
 
     ExperimentConfig config;
     config.mix = mix;

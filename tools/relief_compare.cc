@@ -29,7 +29,8 @@
  * for "this change moved memory pressure". Values where both sides
  * sit below --abs-floor are skipped as noise.
  *
- * relief-bench-v1 and relief-hostprof-v1 documents diff with a noise
+ * relief-bench-v1, relief-hostprof-v1, and relief-kernels-v1
+ * documents diff with a noise
  * model for wall-clock metrics: each --diff side may be a
  * comma-separated list of repeat files (same binary, same flags), and
  * every metric is the per-field median across the repeats. Host-time
@@ -271,6 +272,8 @@ constexpr double floorEventsPerSec = 1e4;
 constexpr double floorWallNs = 1e5;        // < 0.1 ms of host time
 constexpr double floorNsPerEvent = 25.0;   // clock-granularity noise
 constexpr double floorCoverage = 0.05;
+constexpr double floorThroughput = 1.0;    // < 1 M units/s: noise
+constexpr double floorSpeedup = 0.25;
 
 /** Flatten one hostprof profile object under @p prefix. */
 void
@@ -296,13 +299,40 @@ flattenHostProf(const JsonValue &hp, const std::string &prefix,
     }
 }
 
-/** Flatten a relief-hostprof-v1 or relief-bench-v1 document. */
+/** Flatten one run of a relief-kernels-v1 document: throughputs and
+ *  speedups are wall-clock (noisy), bit-identity is deterministic. */
+void
+flattenKernels(const JsonValue &doc, MetricMap &out)
+{
+    const JsonValue &runs = doc.at("runs");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const JsonValue &run = runs.at(i);
+        std::string key = run.at("kernel").asString() + ".";
+        out[key + "scalar"] =
+            {run.at("scalar").asNumber(), true, floorThroughput};
+        out[key + "simd"] =
+            {run.at("simd").asNumber(), true, floorThroughput};
+        out[key + "speedup"] =
+            {run.at("speedup").asNumber(), true, floorSpeedup};
+        out[key + "identical"] =
+            {run.at("identical").asBool() ? 1.0 : 0.0, false, -1.0};
+    }
+    out["geomean_speedup"] =
+        {doc.at("geomean_speedup").asNumber(), true, floorSpeedup};
+}
+
+/** Flatten a relief-hostprof-v1, relief-bench-v1, or
+ *  relief-kernels-v1 document. */
 MetricMap
 flattenDoc(const JsonValue &doc, const std::string &schema)
 {
     MetricMap out;
     if (schema == "relief-hostprof-v1") {
         flattenHostProf(doc, "", out);
+        return out;
+    }
+    if (schema == "relief-kernels-v1") {
+        flattenKernels(doc, out);
         return out;
     }
     const JsonValue &runs = doc.at("runs");
@@ -433,13 +463,14 @@ runDiff(const std::string &list_a, const std::string &list_b,
         }
     }
 
-    if (schema == "relief-bench-v1" || schema == "relief-hostprof-v1") {
+    if (schema == "relief-bench-v1" || schema == "relief-hostprof-v1" ||
+        schema == "relief-kernels-v1") {
         diffMetricMaps(diff, as, bs, schema);
     } else {
         if (as.size() > 1 || bs.size() > 1) {
             std::cerr << "repeat lists are only supported for "
-                         "relief-bench-v1 / relief-hostprof-v1"
-                         " documents\n";
+                         "relief-bench-v1 / relief-hostprof-v1 / "
+                         "relief-kernels-v1 documents\n";
             return 1;
         }
         const JsonValue &a = as.front();
